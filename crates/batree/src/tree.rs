@@ -1,0 +1,617 @@
+//! Public BA-tree interface.
+
+use boxagg_common::error::{invalid_arg, Result};
+use boxagg_common::geom::{Point, Rect};
+use boxagg_common::traits::DominanceSumIndex;
+use boxagg_common::value::AggValue;
+use boxagg_pagestore::{PageId, SharedStore};
+
+use crate::bulk;
+use crate::node::BaParams;
+use crate::ops::{self, Ctx};
+
+/// The Box Aggregation Tree (§5): a disk-based, dynamic dominance-sum
+/// index. A k-d-B-tree whose index records are augmented with a
+/// `subtotal` and `d` border trees, giving poly-logarithmic average query
+/// cost — a query walks a single root-to-leaf path and touches a constant
+/// number of borders per node.
+///
+/// Generic over the aggregated value `V`: `f64` for the simple box-sum
+/// problem, [`Poly`](boxagg_common::poly::Poly) for the functional one.
+///
+/// ```
+/// use boxagg_batree::BATree;
+/// use boxagg_common::{Point, Rect, DominanceSumIndex};
+/// use boxagg_pagestore::{SharedStore, StoreConfig};
+///
+/// let store = SharedStore::open(&StoreConfig::default()).unwrap();
+/// let space = Rect::from_bounds(&[(0.0, 100.0), (0.0, 100.0)]);
+/// let mut tree: BATree<f64> = BATree::create(store, space, 8).unwrap();
+/// tree.insert(Point::new(&[10.0, 10.0]), 5.0).unwrap();
+/// tree.insert(Point::new(&[60.0, 60.0]), 7.0).unwrap();
+/// assert_eq!(tree.dominance_sum(&Point::new(&[50.0, 50.0])).unwrap(), 5.0);
+/// assert_eq!(tree.dominance_sum(&Point::new(&[99.0, 99.0])).unwrap(), 12.0);
+/// ```
+pub struct BATree<V: AggValue> {
+    store: SharedStore,
+    params: BaParams,
+    space: Rect,
+    root: PageId,
+    len: usize,
+    _marker: std::marker::PhantomData<V>,
+}
+
+impl<V: AggValue> BATree<V> {
+    /// Creates an empty BA-tree over `space`.
+    ///
+    /// `max_value_size` bounds the encoded size of any value that will be
+    /// inserted (8 for `f64`; use
+    /// [`max_poly_encoded_size`](boxagg_common::poly::max_poly_encoded_size)
+    /// for polynomial tuples). It determines node fanout.
+    pub fn create(store: SharedStore, space: Rect, max_value_size: usize) -> Result<Self> {
+        let params = BaParams {
+            page_size: store.page_size(),
+            max_value_size,
+        };
+        params.validate(space.dim())?;
+        let root = {
+            let ctx = Ctx {
+                store: &store,
+                params: &params,
+            };
+            ops::tree_new::<V>(ctx, space.dim())?
+        };
+        Ok(Self {
+            store,
+            params,
+            space,
+            root,
+            len: 0,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Bulk-loads a tree from weighted points: the k-d-B partition is
+    /// built top-down and every record's aggregation state is computed
+    /// directly from the point sets (coincident points merge, as dynamic
+    /// insertion would). Far cheaper than repeated [`insert`] for large
+    /// batches; the result behaves identically afterwards.
+    ///
+    /// [`insert`]: DominanceSumIndex::insert
+    pub fn bulk_load(
+        store: SharedStore,
+        space: Rect,
+        max_value_size: usize,
+        points: Vec<(Point, V)>,
+    ) -> Result<Self> {
+        let params = BaParams {
+            page_size: store.page_size(),
+            max_value_size,
+        };
+        params.validate(space.dim())?;
+        let len = points.len();
+        for (p, _) in &points {
+            if !space.contains_point(p) {
+                return Err(invalid_arg(format!(
+                    "point {p:?} outside the indexed space {space:?}"
+                )));
+            }
+        }
+        let root = {
+            let ctx = Ctx {
+                store: &store,
+                params: &params,
+            };
+            if points.is_empty() {
+                ops::tree_new::<V>(ctx, space.dim())?
+            } else {
+                bulk::bulk_build(ctx, space.dim(), &space, &space, points)?
+            }
+        };
+        Ok(Self {
+            store,
+            params,
+            space,
+            root,
+            len,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Reopens a tree given its root page (see [`root_page`](Self::root_page))
+    /// in an existing store, e.g. after reloading a file-backed pager.
+    pub fn open_at(
+        store: SharedStore,
+        space: Rect,
+        max_value_size: usize,
+        root: PageId,
+        len: usize,
+    ) -> Result<Self> {
+        let params = BaParams {
+            page_size: store.page_size(),
+            max_value_size,
+        };
+        params.validate(space.dim())?;
+        Ok(Self {
+            store,
+            params,
+            space,
+            root,
+            len,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// The root page id (persist alongside the store to reopen the tree).
+    pub fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    /// The indexed space.
+    pub fn space(&self) -> &Rect {
+        &self.space
+    }
+
+    /// The shared page store.
+    pub fn store(&self) -> &SharedStore {
+        &self.store
+    }
+
+    /// Collects every point inserted so far (diagnostics and tests).
+    pub fn enumerate(&self) -> Result<Vec<(Point, V)>> {
+        let ctx = Ctx {
+            store: &self.store,
+            params: &self.params,
+        };
+        let mut out = Vec::new();
+        ops::tree_enumerate(ctx, self.space.dim(), self.root, &mut out)?;
+        Ok(out)
+    }
+
+    /// Frees every page of the tree, leaving it unusable.
+    pub fn destroy(self) -> Result<()> {
+        let ctx = Ctx {
+            store: &self.store,
+            params: &self.params,
+        };
+        ops::tree_free::<V>(ctx, self.space.dim(), self.root)
+    }
+}
+
+impl BATree<f64> {
+    /// Deep structural validation: every record's aggregation state
+    /// (subtotal + borders) must balance exactly against the sibling
+    /// subtrees a query would otherwise miss, at every node, recursively
+    /// including spilled border trees. `O(n · fanout)` per level — for
+    /// tests and debugging, not production paths.
+    pub fn check_consistency(&self) -> Result<()> {
+        let ctx = Ctx {
+            store: &self.store,
+            params: &self.params,
+        };
+        ops::check_consistency(ctx, self.space.dim(), &self.space, self.root)
+    }
+}
+
+impl<V: AggValue> DominanceSumIndex<V> for BATree<V> {
+    fn dim(&self) -> usize {
+        self.space.dim()
+    }
+
+    fn insert(&mut self, p: Point, v: V) -> Result<()> {
+        if p.dim() != self.dim() {
+            return Err(invalid_arg(format!(
+                "point dimension {} != tree dimension {}",
+                p.dim(),
+                self.dim()
+            )));
+        }
+        if !self.space.contains_point(&p) {
+            return Err(invalid_arg(format!(
+                "point {p:?} outside the indexed space {:?}",
+                self.space
+            )));
+        }
+        debug_assert!(
+            v.encoded_size() <= self.params.max_value_size,
+            "value exceeds the configured max encoded size"
+        );
+        let ctx = Ctx {
+            store: &self.store,
+            params: &self.params,
+        };
+        self.root = ops::tree_insert(ctx, self.space.dim(), &self.space, self.root, p, v)?;
+        self.len += 1;
+        Ok(())
+    }
+
+    fn dominance_sum(&mut self, q: &Point) -> Result<V> {
+        if q.dim() != self.dim() {
+            return Err(invalid_arg(format!(
+                "query dimension {} != tree dimension {}",
+                q.dim(),
+                self.dim()
+            )));
+        }
+        let ctx = Ctx {
+            store: &self.store,
+            params: &self.params,
+        };
+        ops::tree_query(ctx, self.space.dim(), &self.space, self.root, q)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boxagg_common::traits::NaiveDominanceIndex;
+    use boxagg_pagestore::StoreConfig;
+
+    fn unit_space(dim: usize) -> Rect {
+        Rect::new(Point::zeros(dim), Point::splat(dim, 1.0))
+    }
+
+    fn small_tree(dim: usize, page_size: usize) -> BATree<f64> {
+        let store = SharedStore::open(&StoreConfig::small(page_size, 64)).unwrap();
+        BATree::create(store, unit_space(dim), 8).unwrap()
+    }
+
+    /// Deterministic pseudo-random f64 in [0, 1).
+    fn rnd(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    #[test]
+    fn empty_tree_queries_zero() {
+        let mut t = small_tree(2, 512);
+        assert_eq!(t.dominance_sum(&Point::new(&[0.5, 0.5])).unwrap(), 0.0);
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn single_point_boundary_semantics() {
+        let mut t = small_tree(2, 512);
+        t.insert(Point::new(&[0.5, 0.5]), 2.0).unwrap();
+        // Closed dominance: the query point itself is included.
+        assert_eq!(t.dominance_sum(&Point::new(&[0.5, 0.5])).unwrap(), 2.0);
+        assert_eq!(t.dominance_sum(&Point::new(&[0.4, 0.9])).unwrap(), 0.0);
+        assert_eq!(t.dominance_sum(&Point::new(&[0.9, 0.4])).unwrap(), 0.0);
+        assert_eq!(t.dominance_sum(&Point::new(&[1.0, 1.0])).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn duplicate_points_merge() {
+        let mut t = small_tree(2, 512);
+        for _ in 0..10 {
+            t.insert(Point::new(&[0.3, 0.3]), 1.0).unwrap();
+        }
+        assert_eq!(t.dominance_sum(&Point::new(&[0.3, 0.3])).unwrap(), 10.0);
+        assert_eq!(t.len(), 10);
+        // All ten inserts merged into one leaf entry.
+        assert_eq!(t.enumerate().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rejects_out_of_space_and_wrong_dim() {
+        let mut t = small_tree(2, 512);
+        assert!(t.insert(Point::new(&[2.0, 0.5]), 1.0).is_err());
+        assert!(t.insert(Point::new(&[0.5]), 1.0).is_err());
+        assert!(t.dominance_sum(&Point::new(&[0.1, 0.2, 0.3])).is_err());
+    }
+
+    #[test]
+    fn queries_clamp_outside_space() {
+        let mut t = small_tree(2, 512);
+        t.insert(Point::new(&[0.2, 0.2]), 5.0).unwrap();
+        // Above the space: same as querying the space corner.
+        assert_eq!(t.dominance_sum(&Point::new(&[10.0, 10.0])).unwrap(), 5.0);
+        // Below the space floor: nothing dominated.
+        assert_eq!(t.dominance_sum(&Point::new(&[-1.0, 0.5])).unwrap(), 0.0);
+    }
+
+    fn compare_vs_naive(dim: usize, n: usize, page_size: usize, seed: u64) {
+        let mut t = small_tree(dim, page_size);
+        let mut oracle = NaiveDominanceIndex::new(dim);
+        let mut s = seed;
+        for i in 0..n {
+            let p = Point::from_fn(dim, |_| rnd(&mut s));
+            let v = (i % 7) as f64 - 3.0;
+            t.insert(p, v).unwrap();
+            oracle.insert(p, v).unwrap();
+            if i % 50 == 0 {
+                let q = Point::from_fn(dim, |_| rnd(&mut s));
+                let got = t.dominance_sum(&q).unwrap();
+                let want = oracle.dominance_sum(&q).unwrap();
+                assert!(
+                    (got - want).abs() < 1e-6,
+                    "mid-build mismatch at i={i}: got {got}, want {want}"
+                );
+            }
+        }
+        for _ in 0..200 {
+            let q = Point::from_fn(dim, |_| rnd(&mut s));
+            let got = t.dominance_sum(&q).unwrap();
+            let want = oracle.dominance_sum(&q).unwrap();
+            assert!((got - want).abs() < 1e-6, "got {got}, want {want} at {q:?}");
+        }
+        // Every insert reached a leaf (lossless enumeration).
+        assert_eq!(
+            t.enumerate().unwrap().iter().map(|(_, v)| v).sum::<f64>(),
+            oracle.points().iter().map(|(_, v)| v).sum::<f64>()
+        );
+    }
+
+    #[test]
+    fn matches_naive_1d_many_splits() {
+        compare_vs_naive(1, 800, 256, 42);
+    }
+
+    #[test]
+    fn matches_naive_2d_many_splits() {
+        compare_vs_naive(2, 800, 256, 7);
+    }
+
+    #[test]
+    fn matches_naive_2d_larger_pages() {
+        compare_vs_naive(2, 1500, 1024, 99);
+    }
+
+    #[test]
+    fn matches_naive_3d() {
+        compare_vs_naive(3, 600, 512, 5);
+    }
+
+    #[test]
+    fn matches_naive_4d() {
+        compare_vs_naive(4, 350, 1024, 11);
+    }
+
+    #[test]
+    fn clustered_points_force_uneven_splits() {
+        // Heavy clustering exercises forced index splits and degenerate
+        // medians.
+        let mut t = small_tree(2, 256);
+        let mut oracle = NaiveDominanceIndex::new(2);
+        let mut s = 1234u64;
+        for i in 0..600 {
+            let cluster = (i % 3) as f64 * 0.3 + 0.1;
+            let p = Point::new(&[cluster + rnd(&mut s) * 0.01, cluster + rnd(&mut s) * 0.01]);
+            t.insert(p, 1.0).unwrap();
+            oracle.insert(p, 1.0).unwrap();
+        }
+        for _ in 0..100 {
+            let q = Point::from_fn(2, |_| rnd(&mut s));
+            assert_eq!(
+                t.dominance_sum(&q).unwrap(),
+                oracle.dominance_sum(&q).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn grid_points_with_ties_on_split_planes() {
+        // A regular grid creates many points exactly on split boundaries.
+        let mut t = small_tree(2, 256);
+        let mut oracle = NaiveDominanceIndex::new(2);
+        for i in 0..20 {
+            for j in 0..20 {
+                let p = Point::new(&[i as f64 / 20.0, j as f64 / 20.0]);
+                t.insert(p, 1.0).unwrap();
+                oracle.insert(p, 1.0).unwrap();
+            }
+        }
+        for i in 0..21 {
+            for j in 0..21 {
+                let q = Point::new(&[i as f64 / 20.0, j as f64 / 20.0]);
+                assert_eq!(
+                    t.dominance_sum(&q).unwrap(),
+                    oracle.dominance_sum(&q).unwrap(),
+                    "grid query {q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_clamped_points_stay_consistent() {
+        // Regression: datasets clamped to the space boundary put many
+        // points exactly at `space.high`, which can drive split values
+        // onto the boundary and create a degenerate top slab whose box
+        // overlaps its lower sibling under the top-closure rule. The
+        // owner-selection rule must keep routing unambiguous; the deep
+        // consistency checker validates every node and border tree.
+        let mut t = small_tree(2, 2048);
+        let mut oracle = NaiveDominanceIndex::new(2);
+        let mut s = 77u64;
+        for i in 0..500 {
+            // ~1/3 of coordinates clamp to exactly 0.0 or 1.0.
+            let c = |s: &mut u64| (rnd(s) * 3.0 - 1.0).clamp(0.0, 1.0);
+            let p = Point::new(&[c(&mut s), c(&mut s)]);
+            t.insert(p, 1.0 + (i % 3) as f64).unwrap();
+            oracle.insert(p, 1.0 + (i % 3) as f64).unwrap();
+            if i % 100 == 99 {
+                t.check_consistency().unwrap();
+            }
+        }
+        t.check_consistency().unwrap();
+        // The space corners are the queries that exposed the bug.
+        for q in [
+            Point::new(&[1.0, 1.0]),
+            Point::new(&[1.0, 0.5]),
+            Point::new(&[0.5, 1.0]),
+            Point::new(&[0.0, 0.0]),
+            Point::new(&[1.0, 0.0]),
+        ] {
+            assert_eq!(
+                t.dominance_sum(&q).unwrap(),
+                oracle.dominance_sum(&q).unwrap(),
+                "at {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn consistency_checker_passes_on_random_tree() {
+        let mut t = small_tree(2, 512);
+        let mut s = 123u64;
+        for _ in 0..400 {
+            t.insert(Point::from_fn(2, |_| rnd(&mut s)), 1.0).unwrap();
+        }
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn destroy_frees_all_pages() {
+        let store = SharedStore::open(&StoreConfig::small(256, 64)).unwrap();
+        let baseline = store.live_pages();
+        let mut t: BATree<f64> = BATree::create(store.clone(), unit_space(2), 8).unwrap();
+        let mut s = 3u64;
+        for _ in 0..400 {
+            t.insert(Point::from_fn(2, |_| rnd(&mut s)), 1.0).unwrap();
+        }
+        assert!(store.live_pages() > baseline + 10);
+        t.destroy().unwrap();
+        assert_eq!(store.live_pages(), baseline);
+    }
+
+    #[test]
+    fn bulk_load_matches_dynamic_and_is_consistent() {
+        let mut s = 2024u64;
+        let points: Vec<(Point, f64)> = (0..1500)
+            .map(|i| (Point::from_fn(2, |_| rnd(&mut s)), (i % 7) as f64 + 0.5))
+            .collect();
+        let store_b = SharedStore::open(&StoreConfig::small(1024, 64)).unwrap();
+        let mut bulk: BATree<f64> =
+            BATree::bulk_load(store_b.clone(), unit_space(2), 8, points.clone()).unwrap();
+        bulk.check_consistency().unwrap();
+        let store_d = SharedStore::open(&StoreConfig::small(1024, 64)).unwrap();
+        let mut dynamic: BATree<f64> = BATree::create(store_d.clone(), unit_space(2), 8).unwrap();
+        for (p, v) in &points {
+            dynamic.insert(*p, *v).unwrap();
+        }
+        for _ in 0..200 {
+            let q = Point::from_fn(2, |_| rnd(&mut s));
+            assert!(
+                (bulk.dominance_sum(&q).unwrap() - dynamic.dominance_sum(&q).unwrap()).abs() < 1e-9,
+                "bulk and dynamic disagree at {q:?}"
+            );
+        }
+        // Bulk loading packs pages better than insert-and-split.
+        assert!(store_b.live_pages() <= store_d.live_pages());
+        assert_eq!(bulk.len(), 1500);
+    }
+
+    #[test]
+    fn bulk_load_then_dynamic_inserts() {
+        let mut s = 97u64;
+        let points: Vec<(Point, f64)> = (0..800)
+            .map(|_| (Point::from_fn(2, |_| rnd(&mut s)), 1.0))
+            .collect();
+        let store = SharedStore::open(&StoreConfig::small(1024, 64)).unwrap();
+        let mut t: BATree<f64> =
+            BATree::bulk_load(store, unit_space(2), 8, points.clone()).unwrap();
+        let mut oracle = NaiveDominanceIndex::new(2);
+        for (p, v) in points {
+            oracle.insert(p, v).unwrap();
+        }
+        for _ in 0..500 {
+            let p = Point::from_fn(2, |_| rnd(&mut s));
+            t.insert(p, 2.0).unwrap();
+            oracle.insert(p, 2.0).unwrap();
+        }
+        t.check_consistency().unwrap();
+        for _ in 0..150 {
+            let q = Point::from_fn(2, |_| rnd(&mut s));
+            assert_eq!(
+                t.dominance_sum(&q).unwrap(),
+                oracle.dominance_sum(&q).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_load_3d_and_duplicates() {
+        let mut s = 5u64;
+        let mut points: Vec<(Point, f64)> = (0..600)
+            .map(|_| {
+                (
+                    Point::from_fn(3, |_| (rnd(&mut s) * 10.0).floor() / 10.0),
+                    1.0,
+                )
+            })
+            .collect();
+        points.extend(points.clone()); // force many duplicates
+        let store = SharedStore::open(&StoreConfig::small(2048, 64)).unwrap();
+        let mut t: BATree<f64> =
+            BATree::bulk_load(store, unit_space(3), 8, points.clone()).unwrap();
+        let mut oracle = NaiveDominanceIndex::new(3);
+        for (p, v) in points {
+            oracle.insert(p, v).unwrap();
+        }
+        for _ in 0..150 {
+            let q = Point::from_fn(3, |_| rnd(&mut s));
+            assert_eq!(
+                t.dominance_sum(&q).unwrap(),
+                oracle.dominance_sum(&q).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_load_empty_and_rejects_escapees() {
+        let store = SharedStore::open(&StoreConfig::small(1024, 64)).unwrap();
+        let mut t: BATree<f64> = BATree::bulk_load(store, unit_space(2), 8, vec![]).unwrap();
+        assert_eq!(t.dominance_sum(&Point::new(&[1.0, 1.0])).unwrap(), 0.0);
+        let store = SharedStore::open(&StoreConfig::small(1024, 64)).unwrap();
+        assert!(BATree::bulk_load(
+            store,
+            unit_space(2),
+            8,
+            vec![(Point::new(&[2.0, 0.5]), 1.0)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn corrupt_pages_error_instead_of_panicking() {
+        let store = SharedStore::open(&StoreConfig::small(512, 32)).unwrap();
+        let mut t: BATree<f64> = BATree::create(store.clone(), unit_space(2), 8).unwrap();
+        let mut s = 4u64;
+        for _ in 0..200 {
+            t.insert(Point::from_fn(2, |_| rnd(&mut s)), 1.0).unwrap();
+        }
+        // Stomp the root page with garbage: queries must surface a
+        // corruption error, not panic or return wrong data silently.
+        store.write_page(t.root_page(), &[0xFF; 64]).unwrap();
+        let err = t.dominance_sum(&Point::new(&[0.5, 0.5])).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "got: {err}");
+        let err = t.insert(Point::new(&[0.5, 0.5]), 1.0).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "got: {err}");
+    }
+
+    #[test]
+    fn open_at_resumes_existing_tree() {
+        let store = SharedStore::open(&StoreConfig::small(512, 64)).unwrap();
+        let mut t: BATree<f64> = BATree::create(store.clone(), unit_space(2), 8).unwrap();
+        let mut s = 8u64;
+        for _ in 0..300 {
+            t.insert(Point::from_fn(2, |_| rnd(&mut s)), 2.0).unwrap();
+        }
+        let root = t.root_page();
+        let len = t.len();
+        let q = Point::new(&[0.7, 0.7]);
+        let want = t.dominance_sum(&q).unwrap();
+        drop(t);
+        let mut t2: BATree<f64> = BATree::open_at(store, unit_space(2), 8, root, len).unwrap();
+        assert_eq!(t2.dominance_sum(&q).unwrap(), want);
+        assert_eq!(t2.len(), len);
+    }
+}

@@ -1,0 +1,186 @@
+//! Criterion micro-benchmarks: per-operation latencies of the dominance
+//! structures, the reductions and the polynomial machinery.
+//!
+//! Run with `cargo bench -p boxagg-bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use boxagg_batree::BATree;
+use boxagg_common::geom::{Point, Rect};
+use boxagg_common::poly::Poly;
+use boxagg_common::traits::DominanceSumIndex;
+use boxagg_common::value::AggValue;
+use boxagg_core::engine::SimpleBoxSum;
+use boxagg_core::functional::{corner_tuples, FunctionalObject};
+use boxagg_ecdf::{BorderPolicy, EcdfBTree, EcdfTree};
+use boxagg_pagestore::{SharedStore, StoreConfig};
+use boxagg_workload::{gen_objects, gen_points, gen_queries, DatasetConfig};
+
+const N: usize = 20_000;
+
+fn unit_space() -> Rect {
+    Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)])
+}
+
+fn store() -> SharedStore {
+    SharedStore::open(&StoreConfig::default()).unwrap()
+}
+
+fn bench_dominance_query(c: &mut Criterion) {
+    let points = gen_points(2, N, 1);
+    let queries: Vec<Point> = gen_points(2, 256, 2).into_iter().map(|(p, _)| p).collect();
+
+    let mut group = c.benchmark_group("dominance_query_20k");
+
+    let mut bat: BATree<f64> = BATree::create(store(), unit_space(), 8).unwrap();
+    for (p, v) in &points {
+        bat.insert(*p, *v).unwrap();
+    }
+    let mut qi = 0usize;
+    group.bench_function("batree", |b| {
+        b.iter(|| {
+            qi = (qi + 1) % queries.len();
+            bat.dominance_sum(&queries[qi]).unwrap()
+        })
+    });
+
+    for (policy, name) in [
+        (BorderPolicy::UpdateOptimized, "ecdf_bu"),
+        (BorderPolicy::QueryOptimized, "ecdf_bq"),
+    ] {
+        let mut tree = EcdfBTree::bulk_load(store(), 2, policy, 8, points.clone()).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                qi = (qi + 1) % queries.len();
+                tree.dominance_sum(&queries[qi]).unwrap()
+            })
+        });
+    }
+
+    let static_tree = EcdfTree::build(2, points.clone());
+    group.bench_function("ecdf_static", |b| {
+        b.iter(|| {
+            qi = (qi + 1) % queries.len();
+            static_tree.query(&queries[qi])
+        })
+    });
+    group.finish();
+}
+
+fn bench_dominance_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dominance_insert");
+    let points = gen_points(2, N, 3);
+
+    group.bench_function("batree", |b| {
+        let mut bat: BATree<f64> = BATree::create(store(), unit_space(), 8).unwrap();
+        for (p, v) in &points {
+            bat.insert(*p, *v).unwrap();
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % points.len();
+            bat.insert(points[i].0, 1.0).unwrap()
+        })
+    });
+
+    for (policy, name) in [
+        (BorderPolicy::UpdateOptimized, "ecdf_bu"),
+        (BorderPolicy::QueryOptimized, "ecdf_bq"),
+    ] {
+        group.bench_function(name, |b| {
+            let mut tree = EcdfBTree::bulk_load(store(), 2, policy, 8, points.clone()).unwrap();
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % points.len();
+                tree.insert(points[i].0, 1.0).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_box_sum(c: &mut Criterion) {
+    let objects = gen_objects(&DatasetConfig::paper(N, 7));
+    let queries = gen_queries(2, 256, 0.01, 8);
+    let mut group = c.benchmark_group("box_sum_20k_qbs1pct");
+
+    let mut bat = SimpleBoxSum::batree(unit_space(), StoreConfig::default()).unwrap();
+    for (r, v) in &objects {
+        bat.insert(r, *v).unwrap();
+    }
+    let mut qi = 0usize;
+    group.bench_function("corner_batree", |b| {
+        b.iter(|| {
+            qi = (qi + 1) % queries.len();
+            bat.query(&queries[qi]).unwrap()
+        })
+    });
+
+    let mut ar = boxagg_rstar::RStarTree::<()>::bulk_load(
+        store(),
+        2,
+        0,
+        objects.iter().map(|(r, v)| (*r, *v, ())).collect(),
+    )
+    .unwrap();
+    group.bench_function("ar_tree", |b| {
+        b.iter(|| {
+            qi = (qi + 1) % queries.len();
+            ar.box_sum(&queries[qi]).unwrap()
+        })
+    });
+    group.bench_function("ar_tree_scan", |b| {
+        b.iter(|| {
+            qi = (qi + 1) % queries.len();
+            ar.box_sum_scan(&queries[qi]).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_poly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poly");
+    let a = Poly::from_terms(vec![
+        boxagg_common::poly::Term::new(1.5, &[1, 2]),
+        boxagg_common::poly::Term::new(-0.5, &[2, 0]),
+        boxagg_common::poly::Term::new(3.0, &[0, 1]),
+    ]);
+    let b2 = Poly::from_terms(vec![
+        boxagg_common::poly::Term::new(2.0, &[1, 1]),
+        boxagg_common::poly::Term::new(1.0, &[0, 0]),
+    ]);
+    group.bench_function("mul", |b| b.iter(|| a.mul(&b2)));
+    group.bench_function("add", |b| b.iter(|| a.clone().add(&b2)));
+    let p = Point::new(&[1.3, 2.7]);
+    group.bench_function("eval", |b| b.iter(|| a.eval(&p)));
+
+    let obj =
+        FunctionalObject::new(Rect::from_bounds(&[(0.1, 0.5), (0.2, 0.8)]), a.clone()).unwrap();
+    group.bench_function("corner_tuples_deg3_2d", |b| b.iter(|| corner_tuples(&obj)));
+    group.finish();
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk_load_10k");
+    group.sample_size(10);
+    let points = gen_points(2, 10_000, 9);
+    for (policy, name) in [
+        (BorderPolicy::UpdateOptimized, "ecdf_bu"),
+        (BorderPolicy::QueryOptimized, "ecdf_bq"),
+    ] {
+        group.bench_with_input(BenchmarkId::new("ecdf", name), &policy, |b, &policy| {
+            b.iter(|| EcdfBTree::bulk_load(store(), 2, policy, 8, points.clone()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dominance_query,
+    bench_dominance_insert,
+    bench_box_sum,
+    bench_poly,
+    bench_bulk_load
+);
+criterion_main!(benches);

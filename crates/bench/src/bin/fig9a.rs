@@ -1,0 +1,74 @@
+//! **Figure 9a** — simple box-sum index sizes.
+//!
+//! Builds the four §6 schemes (aR, ECDFu, ECDFq, BAT) over the same
+//! dataset and reports each index's size (live pages × page size).
+//! Expected shape (paper): `aR` smallest (linear space); `BAT` and
+//! `ECDFu` comparable with a logarithmic overhead; `ECDFq` far larger.
+//!
+//! Usage: `cargo run --release -p boxagg-bench --bin fig9a [--n N]`
+
+use boxagg_bench::{build_ar, build_bat, build_ecdf, fmt_u64, print_table, Args};
+use boxagg_ecdf::BorderPolicy;
+
+fn main() {
+    let args = Args::parse(100_000);
+    eprintln!(
+        "fig9a: n = {}, page = {} B, buffer = {} MiB",
+        args.n, args.page_size, args.buffer_mb
+    );
+    let objects = args.dataset();
+
+    let mut rows = Vec::new();
+    let mut record = |name: &str, pages: u64, mib: f64, secs: f64| {
+        rows.push(vec![
+            name.to_string(),
+            fmt_u64(pages),
+            format!("{mib:.1}"),
+            format!("{secs:.1}"),
+        ]);
+    };
+
+    let ar = build_ar(&args, &objects);
+    record(ar.name, ar.store.live_pages(), ar.size_mib(), ar.build_secs);
+    eprintln!("  aR built ({:.1}s)", ar.build_secs);
+    drop(ar);
+
+    let ecdfu = build_ecdf(&args, BorderPolicy::UpdateOptimized, &objects);
+    record(
+        ecdfu.name,
+        ecdfu.store.live_pages(),
+        ecdfu.size_mib(),
+        ecdfu.build_secs,
+    );
+    eprintln!("  ECDFu built ({:.1}s)", ecdfu.build_secs);
+    drop(ecdfu);
+
+    let ecdfq = build_ecdf(&args, BorderPolicy::QueryOptimized, &objects);
+    record(
+        ecdfq.name,
+        ecdfq.store.live_pages(),
+        ecdfq.size_mib(),
+        ecdfq.build_secs,
+    );
+    eprintln!("  ECDFq built ({:.1}s)", ecdfq.build_secs);
+    drop(ecdfq);
+
+    let bat = build_bat(&args, &objects);
+    record(
+        bat.name,
+        bat.store.live_pages(),
+        bat.size_mib(),
+        bat.build_secs,
+    );
+    eprintln!("  BAT built ({:.1}s)", bat.build_secs);
+    drop(bat);
+
+    print_table(
+        &format!(
+            "Figure 9a: simple box-sum index sizes (n = {})",
+            fmt_u64(args.n as u64)
+        ),
+        &["scheme", "pages", "MiB", "build s"],
+        &rows,
+    );
+}

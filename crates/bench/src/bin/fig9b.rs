@@ -1,0 +1,83 @@
+//! **Figure 9b** — simple box-sum query cost, varying QBS.
+//!
+//! For each query box size (0.01%, 0.1%, 1%, 10% of the space), runs
+//! 1000 random square queries against each scheme and reports the total
+//! number of I/Os under the shared 10 MiB LRU buffer. Expected shape
+//! (paper): `ECDFq` best with `BAT` very close; `ECDFu` much worse (it
+//! opens every border left of the path); `aR` degrades sharply as QBS
+//! grows (its cost follows the number of objects in the query box),
+//! while the specialized indexes are insensitive to QBS.
+//!
+//! Usage: `cargo run --release -p boxagg-bench --bin fig9b [--n N] [--queries Q]`
+
+use boxagg_bench::{
+    build_ar, build_bat, build_ecdf, fmt_u64, print_table, Args, Scheme, QBS_SWEEP,
+};
+use boxagg_common::geom::Rect;
+use boxagg_ecdf::BorderPolicy;
+use boxagg_workload::gen_queries;
+
+/// Runs the QBS sweep for one scheme, returning its table row.
+fn sweep<E>(
+    scheme: &mut Scheme<E>,
+    args: &Args,
+    mut query: impl FnMut(&mut E, &Rect) -> f64,
+) -> Vec<String> {
+    eprintln!("  {} built ({:.1}s)", scheme.name, scheme.build_secs);
+    let mut row = vec![scheme.name.to_string()];
+    for (qi, &qbs) in QBS_SWEEP.iter().enumerate() {
+        let queries = gen_queries(2, args.queries, qbs, 7_700 + qi as u64);
+        scheme.store.reset_stats();
+        let mut checksum = 0.0f64;
+        for q in &queries {
+            checksum += query(&mut scheme.engine, q);
+        }
+        let ios = scheme.store.stats().total();
+        eprintln!(
+            "    QBS {:>6}%: {} I/Os (checksum {:.6e})",
+            qbs * 100.0,
+            fmt_u64(ios),
+            checksum
+        );
+        row.push(fmt_u64(ios));
+    }
+    row
+}
+
+fn main() {
+    let args = Args::parse_with(300_000, 2);
+    eprintln!(
+        "fig9b: n = {}, {} queries per QBS, page = {} B, buffer = {} MiB",
+        args.n, args.queries, args.page_size, args.buffer_mb
+    );
+    let objects = args.dataset();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    // Build, sweep, drop — one scheme at a time to bound memory.
+    {
+        let mut s = build_ar(&args, &objects);
+        rows.push(sweep(&mut s, &args, |e, q| e.box_sum(q).unwrap().sum));
+    }
+    {
+        let mut s = build_ecdf(&args, BorderPolicy::UpdateOptimized, &objects);
+        rows.push(sweep(&mut s, &args, |e, q| e.query(q).unwrap()));
+    }
+    {
+        let mut s = build_ecdf(&args, BorderPolicy::QueryOptimized, &objects);
+        rows.push(sweep(&mut s, &args, |e, q| e.query(q).unwrap()));
+    }
+    {
+        let mut s = build_bat(&args, &objects);
+        rows.push(sweep(&mut s, &args, |e, q| e.query(q).unwrap()));
+    }
+
+    print_table(
+        &format!(
+            "Figure 9b: total I/Os for {} queries per QBS (n = {})",
+            args.queries,
+            fmt_u64(args.n as u64)
+        ),
+        &["scheme", "QBS 0.01%", "QBS 0.1%", "QBS 1%", "QBS 10%"],
+        &rows,
+    );
+}

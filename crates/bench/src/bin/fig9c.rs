@@ -1,0 +1,170 @@
+//! **Figure 9c** — functional box-sum query cost.
+//!
+//! Objects carry polynomial value functions of degree 0 (`…_d0`) or
+//! degree 2 (`…_d2`); 1000 queries at QBS = 1%. Reports the paper's
+//! execution-time metric: CPU time plus 10 ms per I/O.
+//!
+//! Expected shape (paper, 6M objects): BAT drastically faster than aR in
+//! both variants; degree-2 indexes slower than degree-0. The aR-vs-BAT
+//! gap is scale-dependent — the aR-tree's cost grows with the objects
+//! crossing the query boundary (`∝ √n`), the BAT's with tree depth
+//! (`∝ log n`) — so a second table sweeps `n` to expose the trend toward
+//! the paper's operating point (see EXPERIMENTS.md).
+//!
+//! Usage: `cargo run --release -p boxagg-bench --bin fig9c
+//!         [--n N] [--buffer-mb M]`
+
+use std::time::Instant;
+
+use boxagg_bench::{build_ar_functional, fmt_u64, print_table, Args, Scheme, MS_PER_IO};
+use boxagg_core::engine::FunctionalBoxSum;
+use boxagg_core::functional::{tuple_value_size, FunctionalObject};
+use boxagg_workload::{assign_functions, gen_objects, gen_queries, DatasetConfig};
+
+fn objects_for(n: usize, seed: u64, degree: u32) -> Vec<FunctionalObject> {
+    let base = gen_objects(&DatasetConfig::paper(n, seed));
+    assign_functions(&base, degree, 99)
+        .into_iter()
+        .map(|(rect, f)| FunctionalObject::new(rect, f).expect("valid object"))
+        .collect()
+}
+
+struct Measured {
+    ios: u64,
+    cpu_ms: f64,
+    checksum: f64,
+}
+
+fn run_queries<E>(
+    scheme: &mut Scheme<E>,
+    queries: &[boxagg_common::geom::Rect],
+    mut f: impl FnMut(&mut E, &boxagg_common::geom::Rect) -> f64,
+) -> Measured {
+    scheme.store.reset_stats();
+    let t0 = Instant::now();
+    let mut checksum = 0.0;
+    for q in queries {
+        checksum += f(&mut scheme.engine, q);
+    }
+    Measured {
+        ios: scheme.store.stats().total(),
+        cpu_ms: t0.elapsed().as_secs_f64() * 1e3,
+        checksum,
+    }
+}
+
+fn main() {
+    let args = Args::parse_with(300_000, 1);
+    eprintln!(
+        "fig9c: n = {}, {} queries at QBS 1%, page = {} B, buffer = {} MiB",
+        args.n, args.queries, args.page_size, args.buffer_mb
+    );
+    let queries = gen_queries(2, args.queries, 0.01, 4242);
+
+    let mut rows = Vec::new();
+    for degree in [0u32, 2u32] {
+        let objects = objects_for(args.n, args.seed, degree);
+
+        let max_payload = tuple_value_size(2, degree);
+        let mut ar = build_ar_functional(&args, &objects, max_payload);
+        eprintln!(
+            "  aR_d{degree} built ({:.1}s, {:.1} MiB)",
+            ar.build_secs,
+            ar.size_mib()
+        );
+        let m_ar = run_queries(&mut ar, &queries, |e, q| e.functional_sum(q).unwrap());
+        eprintln!("    aR_d{degree}: {} I/Os", fmt_u64(m_ar.ios));
+        rows.push(vec![
+            format!("aR_d{degree}"),
+            fmt_u64(m_ar.ios),
+            format!("{:.0}", m_ar.cpu_ms),
+            format!("{:.0}", m_ar.cpu_ms + m_ar.ios as f64 * MS_PER_IO),
+        ]);
+        drop(ar);
+
+        let t0 = Instant::now();
+        let engine =
+            FunctionalBoxSum::batree_bulk(args.space(), args.store_config(), degree, &objects)
+                .expect("bulk");
+        let store = engine.index().store().clone();
+        let mut bat = Scheme {
+            name: "BAT",
+            engine,
+            store,
+            build_secs: t0.elapsed().as_secs_f64(),
+        };
+        eprintln!(
+            "  BAT_d{degree} built ({:.1}s, {:.1} MiB)",
+            bat.build_secs,
+            bat.size_mib()
+        );
+        let m_bat = run_queries(&mut bat, &queries, |e, q| e.query(q).unwrap());
+        eprintln!("    BAT_d{degree}: {} I/Os", fmt_u64(m_bat.ios));
+        rows.push(vec![
+            format!("BAT_d{degree}"),
+            fmt_u64(m_bat.ios),
+            format!("{:.0}", m_bat.cpu_ms),
+            format!("{:.0}", m_bat.cpu_ms + m_bat.ios as f64 * MS_PER_IO),
+        ]);
+        let rel = (m_ar.checksum - m_bat.checksum).abs() / m_ar.checksum.abs().max(1.0);
+        assert!(
+            rel < 1e-6,
+            "aR and BAT disagree on the functional sums: {rel}"
+        );
+    }
+
+    print_table(
+        &format!(
+            "Figure 9c: functional box-sum, {} queries at QBS 1% (n = {}; time = CPU + 10 ms/IO)",
+            args.queries,
+            fmt_u64(args.n as u64)
+        ),
+        &["scheme", "I/Os", "CPU ms", "exec ms"],
+        &rows,
+    );
+
+    // Crossover trend: aR's query I/O grows with the boundary population
+    // (∝ √n), the BAT's with depth (∝ log n).
+    let sweep_queries = gen_queries(2, args.queries.min(300), 0.01, 777);
+    let mut rows = Vec::new();
+    for n in [args.n / 4, args.n / 2, args.n, args.n * 2] {
+        let objects = objects_for(n, args.seed, 0);
+        let sweep_args = Args { n, ..args.clone() };
+        let mut ar = build_ar_functional(&sweep_args, &objects, tuple_value_size(2, 0));
+        let m_ar = run_queries(&mut ar, &sweep_queries, |e, q| e.functional_sum(q).unwrap());
+        drop(ar);
+        let engine = FunctionalBoxSum::batree_bulk(
+            sweep_args.space(),
+            sweep_args.store_config(),
+            0,
+            &objects,
+        )
+        .expect("bulk");
+        let store = engine.index().store().clone();
+        let mut bat = Scheme {
+            name: "BAT",
+            engine,
+            store,
+            build_secs: 0.0,
+        };
+        let m_bat = run_queries(&mut bat, &sweep_queries, |e, q| e.query(q).unwrap());
+        let per = sweep_queries.len() as f64;
+        eprintln!(
+            "  n = {}: aR {:.1} I/Os/query, BAT {:.1} I/Os/query",
+            fmt_u64(n as u64),
+            m_ar.ios as f64 / per,
+            m_bat.ios as f64 / per
+        );
+        rows.push(vec![
+            fmt_u64(n as u64),
+            format!("{:.1}", m_ar.ios as f64 / per),
+            format!("{:.1}", m_bat.ios as f64 / per),
+            format!("{:.2}", m_ar.ios as f64 / m_bat.ios.max(1) as f64),
+        ]);
+    }
+    print_table(
+        "Fig. 9c supplement: I/Os per query vs n (degree 0, QBS 1%) — aR grows ∝ √n, BAT ∝ log n",
+        &["n", "aR I/O per q", "BAT I/O per q", "aR / BAT"],
+        &rows,
+    );
+}

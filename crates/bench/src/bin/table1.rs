@@ -1,0 +1,88 @@
+//! **Table 1 / Theorem 4** — ECDF-Bu vs ECDF-Bq complexity, measured.
+//!
+//! Sweeps the number of indexed points `n` and reports, for both border
+//! policies of the dominance-sum structure itself (2-d): live pages
+//! (space), bulk-load writes, average I/Os per dominance query, and
+//! average I/Os per dynamic insert. Expected shape (Table 1): the
+//! Bq-tree pays a `×B`-ish factor in space/bulk/update and wins queries;
+//! the Bu-tree is the mirror image.
+//!
+//! Usage: `cargo run --release -p boxagg-bench --bin table1 [--queries Q]`
+
+use boxagg_common::geom::Point;
+use boxagg_common::traits::DominanceSumIndex;
+use boxagg_ecdf::{BorderPolicy, EcdfBTree};
+use boxagg_pagestore::SharedStore;
+
+use boxagg_bench::{fmt_u64, print_table, Args};
+use boxagg_workload::gen_points;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args = Args::parse_with(0, 1);
+    let sweep = [5_000usize, 10_000, 20_000, 40_000, 80_000];
+    let probes = args.queries.min(500);
+    eprintln!("table1: n sweep {sweep:?}, {probes} probe queries/updates each");
+
+    let mut rows = Vec::new();
+    for policy in [BorderPolicy::UpdateOptimized, BorderPolicy::QueryOptimized] {
+        let name = match policy {
+            BorderPolicy::UpdateOptimized => "ECDF-Bu",
+            BorderPolicy::QueryOptimized => "ECDF-Bq",
+        };
+        for &n in &sweep {
+            let points = gen_points(2, n, args.seed);
+            let store = SharedStore::open(&args.store_config()).expect("store");
+            let mut tree = EcdfBTree::bulk_load(store.clone(), 2, policy, 8, points).expect("bulk");
+            store.flush().expect("flush");
+            let bulk_writes = store.stats().writes;
+            let pages = store.live_pages();
+
+            // Query cost: average I/Os per dominance-sum over `probes`
+            // random query points.
+            let mut rng = StdRng::seed_from_u64(args.seed ^ 0xABCD);
+            store.reset_stats();
+            for _ in 0..probes {
+                let q = Point::new(&[rng.gen::<f64>(), rng.gen::<f64>()]);
+                tree.dominance_sum(&q).expect("query");
+            }
+            let query_ios = store.stats().total() as f64 / probes as f64;
+
+            // Update cost: average I/Os per dynamic insert.
+            store.reset_stats();
+            for _ in 0..probes {
+                let p = Point::new(&[rng.gen::<f64>(), rng.gen::<f64>()]);
+                tree.insert(p, 1.0).expect("insert");
+            }
+            let update_ios = store.stats().total() as f64 / probes as f64;
+
+            eprintln!(
+                "  {name} n={n}: {pages} pages, query {query_ios:.2}, update {update_ios:.2}"
+            );
+            rows.push(vec![
+                name.to_string(),
+                fmt_u64(n as u64),
+                fmt_u64(pages),
+                fmt_u64(bulk_writes),
+                format!("{query_ios:.2}"),
+                format!("{update_ios:.2}"),
+            ]);
+        }
+    }
+
+    print_table(
+        "Table 1 (measured): ECDF-B-tree space / bulk-load / query / update, d = 2",
+        &[
+            "tree",
+            "n",
+            "pages",
+            "bulk writes",
+            "query I/O",
+            "update I/O",
+        ],
+        &rows,
+    );
+    println!("\ntheory: Bu space O(n/B·log_B n), query O(B·log²_B n), update O(log²_B n);");
+    println!("        Bq space O(n·log_B n),   query O(log²_B n),   update O(B·log²_B n)");
+}

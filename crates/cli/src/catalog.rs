@@ -1,0 +1,199 @@
+//! The index catalog: a small sidecar text file describing a persisted
+//! box-sum index (space bounds, object count, corner-tree root pages,
+//! page size), next to the page file itself.
+//!
+//! Format (line-oriented, `key=value`):
+//!
+//! ```text
+//! boxagg-catalog=1
+//! dim=2
+//! page_size=8192
+//! len=100000
+//! space=0,1,0,1
+//! roots=12,345,678,901
+//! ```
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use boxagg_common::error::{corrupt, invalid_arg, Error, Result};
+use boxagg_common::geom::{Point, Rect};
+use boxagg_pagestore::PageId;
+
+/// Persistent description of a simple box-sum index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Catalog {
+    /// Dimensionality.
+    pub dim: usize,
+    /// Page size of the page file.
+    pub page_size: usize,
+    /// Number of objects inserted.
+    pub len: usize,
+    /// Indexed space.
+    pub space: Rect,
+    /// Root pages of the `2^dim` corner BA-trees, in corner-mask order.
+    pub roots: Vec<PageId>,
+}
+
+impl Catalog {
+    /// Serializes to the sidecar format.
+    pub fn to_string_repr(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "boxagg-catalog=1");
+        let _ = writeln!(s, "dim={}", self.dim);
+        let _ = writeln!(s, "page_size={}", self.page_size);
+        let _ = writeln!(s, "len={}", self.len);
+        let mut bounds = Vec::new();
+        for i in 0..self.dim {
+            bounds.push(format!("{}", self.space.low().get(i)));
+            bounds.push(format!("{}", self.space.high().get(i)));
+        }
+        let _ = writeln!(s, "space={}", bounds.join(","));
+        let roots: Vec<String> = self.roots.iter().map(|r| r.0.to_string()).collect();
+        let _ = writeln!(s, "roots={}", roots.join(","));
+        s
+    }
+
+    /// Parses the sidecar format.
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut dim = None;
+        let mut page_size = None;
+        let mut len = None;
+        let mut space_raw = None;
+        let mut roots_raw = None;
+        let mut versioned = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| corrupt(format!("catalog line without '=': {line}")))?;
+            match key {
+                "boxagg-catalog" => {
+                    if value != "1" {
+                        return Err(corrupt(format!("unsupported catalog version {value}")));
+                    }
+                    versioned = true;
+                }
+                "dim" => dim = Some(parse_num::<usize>(value)?),
+                "page_size" => page_size = Some(parse_num::<usize>(value)?),
+                "len" => len = Some(parse_num::<usize>(value)?),
+                "space" => space_raw = Some(value.to_string()),
+                "roots" => roots_raw = Some(value.to_string()),
+                other => return Err(corrupt(format!("unknown catalog key {other}"))),
+            }
+        }
+        if !versioned {
+            return Err(corrupt("missing catalog version header"));
+        }
+        let dim = dim.ok_or_else(|| corrupt("catalog missing dim"))?;
+        let page_size = page_size.ok_or_else(|| corrupt("catalog missing page_size"))?;
+        let len = len.ok_or_else(|| corrupt("catalog missing len"))?;
+        let space_raw = space_raw.ok_or_else(|| corrupt("catalog missing space"))?;
+        let roots_raw = roots_raw.ok_or_else(|| corrupt("catalog missing roots"))?;
+
+        let nums: Vec<f64> = space_raw
+            .split(',')
+            .map(|t| parse_num::<f64>(t.trim()))
+            .collect::<Result<_>>()?;
+        if nums.len() != 2 * dim {
+            return Err(corrupt("space bounds count mismatch"));
+        }
+        let low = Point::from_fn(dim, |i| nums[2 * i]);
+        let high = Point::from_fn(dim, |i| nums[2 * i + 1]);
+        let roots: Vec<PageId> = roots_raw
+            .split(',')
+            .map(|t| parse_num::<u64>(t.trim()).map(PageId))
+            .collect::<Result<_>>()?;
+        if roots.len() != 1 << dim {
+            return Err(corrupt("corner root count mismatch"));
+        }
+        Ok(Catalog {
+            dim,
+            page_size,
+            len,
+            space: Rect::new(low, high),
+            roots,
+        })
+    }
+
+    /// The sidecar path for a page file.
+    pub fn path_for(pages: &Path) -> std::path::PathBuf {
+        let mut p = pages.to_path_buf();
+        let mut name = p.file_name().unwrap_or_default().to_os_string();
+        name.push(".catalog");
+        p.set_file_name(name);
+        p
+    }
+
+    /// Writes the sidecar next to `pages`.
+    pub fn save(&self, pages: &Path) -> Result<()> {
+        std::fs::write(Self::path_for(pages), self.to_string_repr())?;
+        Ok(())
+    }
+
+    /// Loads the sidecar for `pages`.
+    pub fn load(pages: &Path) -> Result<Self> {
+        let text = std::fs::read_to_string(Self::path_for(pages))?;
+        Self::parse(&text)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse::<T>()
+        .map_err(|e| -> Error { invalid_arg(format!("bad number {s:?}: {e}")) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Catalog {
+        Catalog {
+            dim: 2,
+            page_size: 8192,
+            len: 1234,
+            space: Rect::from_bounds(&[(0.0, 1.0), (-2.5, 7.25)]),
+            roots: vec![PageId(3), PageId(14), PageId(15), PageId(92)],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = sample();
+        let s = c.to_string_repr();
+        assert_eq!(Catalog::parse(&s).unwrap(), c);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Catalog::parse("").is_err());
+        assert!(Catalog::parse("boxagg-catalog=2\n").is_err());
+        assert!(Catalog::parse("boxagg-catalog=1\ndim=2\n").is_err());
+        let mut bad = sample();
+        bad.roots.pop();
+        assert!(Catalog::parse(&bad.to_string_repr()).is_err());
+        assert!(Catalog::parse("boxagg-catalog=1\nwat=1\n").is_err());
+        assert!(Catalog::parse("no equals line").is_err());
+    }
+
+    #[test]
+    fn sidecar_path() {
+        let p = Catalog::path_for(Path::new("/tmp/foo/index.pages"));
+        assert_eq!(p, Path::new("/tmp/foo/index.pages.catalog"));
+    }
+
+    #[test]
+    fn save_and_load() {
+        let dir = tempfile::tempdir().unwrap();
+        let pages = dir.path().join("idx.pages");
+        let c = sample();
+        c.save(&pages).unwrap();
+        assert_eq!(Catalog::load(&pages).unwrap(), c);
+    }
+}

@@ -1,0 +1,309 @@
+//! The CLI commands, factored for testability: every command takes plain
+//! arguments and returns its report as a `String`.
+
+use std::path::Path;
+
+use boxagg_batree::BATree;
+use boxagg_common::error::{invalid_arg, Result};
+use boxagg_common::geom::{Point, Rect};
+use boxagg_core::engine::SimpleBoxSum;
+use boxagg_pagestore::{Backing, FilePager, SharedStore, StoreConfig};
+
+use crate::catalog::Catalog;
+
+/// Scalar value size on pages.
+const F64_SIZE: usize = 8;
+
+/// Parses `l1,h1,l2,h2,…` into a box.
+pub fn parse_box(spec: &str) -> Result<Rect> {
+    let nums: Vec<f64> = spec
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<f64>()
+                .map_err(|e| invalid_arg(format!("bad coordinate {t:?}: {e}")))
+        })
+        .collect::<Result<_>>()?;
+    if nums.len() < 2 || !nums.len().is_multiple_of(2) {
+        return Err(invalid_arg(
+            "box spec needs an even number of coordinates: l1,h1,l2,h2,…",
+        ));
+    }
+    let dim = nums.len() / 2;
+    let low = Point::from_fn(dim, |i| nums[2 * i]);
+    let high = Point::from_fn(dim, |i| nums[2 * i + 1]);
+    if !(0..dim).all(|i| low.get(i) <= high.get(i)) {
+        return Err(invalid_arg("box lows must not exceed highs"));
+    }
+    Ok(Rect::new(low, high))
+}
+
+/// Parses one CSV object line `l1,h1,…,ld,hd,value`.
+pub fn parse_object(line: &str, dim: usize) -> Result<(Rect, f64)> {
+    let nums: Vec<f64> = line
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<f64>()
+                .map_err(|e| invalid_arg(format!("bad field {t:?}: {e}")))
+        })
+        .collect::<Result<_>>()?;
+    if nums.len() != 2 * dim + 1 {
+        return Err(invalid_arg(format!(
+            "object line needs {} fields (2·dim + value), got {}",
+            2 * dim + 1,
+            nums.len()
+        )));
+    }
+    let low = Point::from_fn(dim, |i| nums[2 * i]);
+    let high = Point::from_fn(dim, |i| nums[2 * i + 1]);
+    Ok((Rect::new(low, high), nums[2 * dim]))
+}
+
+fn open_engine(
+    pages: &Path,
+    buffer_mb: usize,
+) -> Result<(SimpleBoxSum<BATree<f64>>, SharedStore, Catalog)> {
+    let cat = Catalog::load(pages)?;
+    let pager = FilePager::open(pages, cat.page_size)?;
+    let buffer_pages = (buffer_mb * 1024 * 1024 / cat.page_size).max(1);
+    let store = SharedStore::from_pager(Box::new(pager), buffer_pages);
+    let engine = SimpleBoxSum::new(cat.dim, |mask| {
+        // Per-tree lengths are not tracked; the catalog holds the total.
+        BATree::open_at(store.clone(), cat.space, F64_SIZE, cat.roots[mask], 0)
+    })?;
+    Ok((engine, store, cat))
+}
+
+fn save_catalog(
+    pages: &Path,
+    engine: &SimpleBoxSum<BATree<f64>>,
+    cat: &Catalog,
+    len: usize,
+) -> Result<()> {
+    let cat = Catalog {
+        len,
+        roots: engine.indexes().iter().map(|t| t.root_page()).collect(),
+        ..cat.clone()
+    };
+    cat.save(pages)
+}
+
+/// `boxagg build INDEX --csv FILE --space l1,h1,…`: builds a fresh
+/// file-backed index from a CSV of objects.
+pub fn build(pages: &Path, csv: &Path, space_spec: &str, page_size: usize) -> Result<String> {
+    let space = parse_box(space_spec)?;
+    let dim = space.dim();
+    let config = StoreConfig {
+        page_size,
+        buffer_pages: (64 * 1024 * 1024 / page_size).max(1),
+        backing: Backing::File(pages.to_path_buf()),
+    };
+    let store = SharedStore::open(&config)?;
+    let mut engine = SimpleBoxSum::batree_in(space, store.clone())?;
+    let text = std::fs::read_to_string(csv)?;
+    let mut n = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (rect, value) = parse_object(line, dim)
+            .map_err(|e| invalid_arg(format!("{}:{}: {e}", csv.display(), lineno + 1)))?;
+        engine.insert(&rect, value)?;
+        n += 1;
+    }
+    store.flush()?;
+    let cat = Catalog {
+        dim,
+        page_size,
+        len: n,
+        space,
+        roots: engine.indexes().iter().map(|t| t.root_page()).collect(),
+    };
+    cat.save(pages)?;
+    Ok(format!(
+        "built {} with {n} objects, {} pages ({:.1} MiB)",
+        pages.display(),
+        store.live_pages(),
+        store.size_bytes() as f64 / (1024.0 * 1024.0)
+    ))
+}
+
+/// `boxagg query INDEX --box l1,h1,…`: the total value of objects
+/// intersecting the box.
+pub fn query(pages: &Path, box_spec: &str) -> Result<String> {
+    let q = parse_box(box_spec)?;
+    let (mut engine, store, cat) = open_engine(pages, 16)?;
+    if q.dim() != cat.dim {
+        return Err(invalid_arg(format!(
+            "query is {}-d but the index is {}-d",
+            q.dim(),
+            cat.dim
+        )));
+    }
+    let sum = engine.query(&q)?;
+    let ios = store.stats().total();
+    Ok(format!("sum = {sum}\n({ios} I/Os)"))
+}
+
+/// `boxagg insert INDEX --object l1,h1,…,value`: adds one object.
+pub fn insert(pages: &Path, object_spec: &str) -> Result<String> {
+    let (mut engine, store, cat) = open_engine(pages, 16)?;
+    let (rect, value) = parse_object(object_spec, cat.dim)?;
+    engine.insert(&rect, value)?;
+    store.flush()?;
+    save_catalog(pages, &engine, &cat, cat.len + 1)?;
+    Ok(format!("inserted; index now holds {} objects", cat.len + 1))
+}
+
+/// `boxagg delete INDEX --object l1,h1,…,value`: removes one object
+/// (by negation; the spec must match the original insertion).
+pub fn delete(pages: &Path, object_spec: &str) -> Result<String> {
+    let (mut engine, store, cat) = open_engine(pages, 16)?;
+    let (rect, value) = parse_object(object_spec, cat.dim)?;
+    engine.delete(&rect, value)?;
+    store.flush()?;
+    let len = cat.len.saturating_sub(1);
+    save_catalog(pages, &engine, &cat, len)?;
+    Ok(format!("deleted; index now holds {len} objects"))
+}
+
+/// `boxagg info INDEX`: catalog and size report.
+pub fn info(pages: &Path) -> Result<String> {
+    let cat = Catalog::load(pages)?;
+    let bytes = std::fs::metadata(pages)?.len();
+    let mut s = String::new();
+    s.push_str(&format!("index:     {}\n", pages.display()));
+    s.push_str(&format!("dimension: {}\n", cat.dim));
+    s.push_str(&format!("objects:   {}\n", cat.len));
+    s.push_str(&format!("space:     {:?}\n", cat.space));
+    s.push_str(&format!("page size: {} B\n", cat.page_size));
+    s.push_str(&format!(
+        "file size: {} pages ({:.1} MiB)\n",
+        bytes / cat.page_size as u64,
+        bytes as f64 / (1024.0 * 1024.0)
+    ));
+    s.push_str(&format!("corner tree roots: {:?}", cat.roots));
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_csv(dir: &Path, rows: &[&str]) -> std::path::PathBuf {
+        let p = dir.join("objects.csv");
+        std::fs::write(&p, rows.join("\n")).unwrap();
+        p
+    }
+
+    #[test]
+    fn parse_box_specs() {
+        let r = parse_box("0,1,2.5,3").unwrap();
+        assert_eq!(r, Rect::from_bounds(&[(0.0, 1.0), (2.5, 3.0)]));
+        assert!(parse_box("0,1,2").is_err());
+        assert!(parse_box("1,0").is_err());
+        assert!(parse_box("a,b").is_err());
+        assert!(parse_box("").is_err());
+    }
+
+    #[test]
+    fn parse_object_lines() {
+        let (r, v) = parse_object("0, 1, 0, 2, 7.5", 2).unwrap();
+        assert_eq!(r, Rect::from_bounds(&[(0.0, 1.0), (0.0, 2.0)]));
+        assert_eq!(v, 7.5);
+        assert!(parse_object("0,1,5", 2).is_err());
+    }
+
+    #[test]
+    fn build_query_insert_delete_cycle() {
+        let dir = tempfile::tempdir().unwrap();
+        let pages = dir.path().join("idx.pages");
+        let csv = write_csv(
+            dir.path(),
+            &[
+                "# parcels",
+                "10,30,10,25,120",
+                "25,50,20,40,340",
+                "70,90,65,80,90",
+                "",
+            ],
+        );
+        let out = build(&pages, &csv, "0,100,0,100", 1024).unwrap();
+        assert!(out.contains("3 objects"), "{out}");
+
+        let out = query(&pages, "20,60,15,50").unwrap();
+        assert!(out.starts_with("sum = 460"), "{out}");
+
+        // Insert another object intersecting the query box and re-query.
+        let out = insert(&pages, "55,58,16,18,40").unwrap();
+        assert!(out.contains("4 objects"), "{out}");
+        let out = query(&pages, "20,60,15,50").unwrap();
+        assert!(out.starts_with("sum = 500"), "{out}");
+
+        // Delete it again.
+        delete(&pages, "55,58,16,18,40").unwrap();
+        let out = query(&pages, "20,60,15,50").unwrap();
+        assert!(out.starts_with("sum = 460"), "{out}");
+
+        let out = info(&pages).unwrap();
+        assert!(out.contains("dimension: 2"), "{out}");
+        assert!(out.contains("objects:   3"), "{out}");
+    }
+
+    #[test]
+    fn build_rejects_bad_csv() {
+        let dir = tempfile::tempdir().unwrap();
+        let pages = dir.path().join("idx.pages");
+        let csv = write_csv(dir.path(), &["1,2,3"]);
+        let err = build(&pages, &csv, "0,10,0,10", 1024).unwrap_err();
+        assert!(err.to_string().contains(":1:"), "{err}");
+    }
+
+    #[test]
+    fn larger_build_survives_reopen_with_many_splits() {
+        let dir = tempfile::tempdir().unwrap();
+        let pages = dir.path().join("big.pages");
+        let mut rows = Vec::new();
+        let mut s = 9u64;
+        let mut rnd = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let mut objects = Vec::new();
+        for i in 0..800 {
+            let x = rnd() * 90.0;
+            let y = rnd() * 90.0;
+            let w = rnd() * 5.0;
+            let h = rnd() * 5.0;
+            let v = (i % 9 + 1) as f64;
+            rows.push(format!("{x},{},{y},{},{v}", x + w, y + h));
+            objects.push((Rect::from_bounds(&[(x, x + w), (y, y + h)]), v));
+        }
+        let row_refs: Vec<&str> = rows.iter().map(|r| r.as_str()).collect();
+        let csv = write_csv(dir.path(), &row_refs);
+        build(&pages, &csv, "0,100,0,100", 1024).unwrap();
+
+        for (qlow, qhigh) in [(10.0, 40.0), (0.0, 100.0), (55.0, 56.0)] {
+            let spec = format!("{qlow},{qhigh},{qlow},{qhigh}");
+            let out = query(&pages, &spec).unwrap();
+            let got: f64 = out
+                .lines()
+                .next()
+                .unwrap()
+                .trim_start_matches("sum = ")
+                .parse()
+                .unwrap();
+            let q = Rect::from_bounds(&[(qlow, qhigh), (qlow, qhigh)]);
+            let want: f64 = objects
+                .iter()
+                .filter(|(r, _)| r.intersects(&q))
+                .map(|(_, v)| v)
+                .sum();
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+}

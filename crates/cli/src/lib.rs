@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+
+//! Implementation of the `boxagg` command-line tool.
+//!
+//! Builds, queries, updates and inspects *persistent* simple box-sum
+//! indexes (corner reduction over BA-trees in a file-backed page store,
+//! with a [`catalog`] sidecar describing the roots). The binary in
+//! `main.rs` is a thin argument-parsing wrapper around [`commands`].
+
+pub mod catalog;
+pub mod commands;
+
+pub use catalog::Catalog;

@@ -1,0 +1,81 @@
+//! `boxagg` — build, query and inspect persistent box-aggregation
+//! indexes.
+//!
+//! ```text
+//! boxagg build  INDEX --csv FILE --space l1,h1,l2,h2 [--page-size N]
+//! boxagg query  INDEX --box  l1,h1,l2,h2
+//! boxagg insert INDEX --object l1,h1,l2,h2,value
+//! boxagg delete INDEX --object l1,h1,l2,h2,value
+//! boxagg info   INDEX
+//! ```
+//!
+//! CSV object lines are `l1,h1,…,ld,hd,value`; `#` starts a comment.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use boxagg_cli::commands;
+
+const USAGE: &str = "\
+usage:
+  boxagg build  INDEX --csv FILE --space l1,h1,l2,h2 [--page-size N]
+  boxagg query  INDEX --box  l1,h1,l2,h2
+  boxagg insert INDEX --object l1,h1,l2,h2,value
+  boxagg delete INDEX --object l1,h1,l2,h2,value
+  boxagg info   INDEX";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn run() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, index) = match (args.first(), args.get(1)) {
+        (Some(c), Some(i)) if !i.starts_with("--") => (c.as_str(), PathBuf::from(i)),
+        _ => return Err(USAGE.to_string()),
+    };
+    let result = match cmd {
+        "build" => {
+            let csv = flag(&args, "--csv").ok_or("build needs --csv FILE")?;
+            let space = flag(&args, "--space").ok_or("build needs --space l1,h1,…")?;
+            let page_size = match flag(&args, "--page-size") {
+                Some(p) => p
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --page-size: {e}"))?,
+                None => 8192,
+            };
+            commands::build(&index, &PathBuf::from(csv), &space, page_size)
+        }
+        "query" => {
+            let b = flag(&args, "--box").ok_or("query needs --box l1,h1,…")?;
+            commands::query(&index, &b)
+        }
+        "insert" => {
+            let o = flag(&args, "--object").ok_or("insert needs --object l1,h1,…,value")?;
+            commands::insert(&index, &o)
+        }
+        "delete" => {
+            let o = flag(&args, "--object").ok_or("delete needs --object l1,h1,…,value")?;
+            commands::delete(&index, &o)
+        }
+        "info" => commands::info(&index),
+        other => return Err(format!("unknown command {other}\n{USAGE}")),
+    };
+    result.map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("boxagg: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Error handling shared across the workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the storage substrate and the index structures.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O failure from a file-backed pager.
+    Io(std::io::Error),
+    /// A page or record failed to decode (truncated or corrupt bytes).
+    Corrupt(String),
+    /// A record is too large to ever fit in a page of the configured size.
+    RecordTooLarge {
+        /// Encoded size of the offending record in bytes.
+        record: usize,
+        /// Usable payload bytes per page.
+        page: usize,
+    },
+    /// A caller-supplied argument was invalid (e.g. dimension mismatch).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Corrupt(msg) => write!(f, "corrupt page data: {msg}"),
+            Error::RecordTooLarge { record, page } => write!(
+                f,
+                "record of {record} bytes cannot fit in a page payload of {page} bytes"
+            ),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenience constructor for [`Error::InvalidArgument`].
+pub fn invalid_arg(msg: impl Into<String>) -> Error {
+    Error::InvalidArgument(msg.into())
+}
+
+/// Convenience constructor for [`Error::Corrupt`].
+pub fn corrupt(msg: impl Into<String>) -> Error {
+    Error::Corrupt(msg.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = invalid_arg("dim mismatch");
+        assert_eq!(e.to_string(), "invalid argument: dim mismatch");
+        let e = corrupt("bad tag");
+        assert_eq!(e.to_string(), "corrupt page data: bad tag");
+        let e = Error::RecordTooLarge {
+            record: 9000,
+            page: 8192,
+        };
+        assert!(e.to_string().contains("9000"));
+        assert!(e.to_string().contains("8192"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn non_io_errors_have_no_source() {
+        assert!(std::error::Error::source(&corrupt("x")).is_none());
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Shared foundations for the `boxagg` workspace.
+//!
+//! This crate contains the pieces every index structure in the workspace
+//! depends on:
+//!
+//! * [`geom`] — dimension-generic points and boxes with the dominance and
+//!   intersection predicates of the paper (§2),
+//! * [`value`] — the [`value::AggValue`] abstraction over the
+//!   quantities being aggregated (scalars for simple box-sum, polynomial
+//!   coefficient tuples for functional box-sum),
+//! * [`poly`] — multivariate polynomial algebra used by the functional
+//!   box-sum reduction (§3),
+//! * [`bytes`] — a small little-endian codec used by every on-page record
+//!   layout,
+//! * [`traits`] — the [`traits::DominanceSumIndex`]
+//!   interface implemented by the ECDF-B-trees and the BA-tree,
+//! * [`error`] — the common error type.
+
+pub mod bytes;
+pub mod error;
+pub mod geom;
+pub mod poly;
+pub mod traits;
+pub mod value;
+
+pub use bytes::{ByteReader, ByteWriter};
+pub use error::{Error, Result};
+pub use geom::{Coord, Point, Rect, MAX_DIM};
+pub use poly::Poly;
+pub use traits::DominanceSumIndex;
+pub use value::AggValue;

@@ -1,0 +1,105 @@
+//! The abstraction over aggregated quantities.
+//!
+//! The simple box-sum problem aggregates plain numbers; the functional
+//! box-sum problem aggregates *polynomial coefficient tuples* (§3). Both
+//! only ever need an abelian group: addition, subtraction and a zero —
+//! the inclusion–exclusion reductions of §2/§3 combine partial sums with
+//! `+` and `−` exclusively. Every index structure in the workspace is
+//! generic over this trait, so the same tree code serves both problems.
+
+use crate::bytes::{ByteReader, ByteWriter};
+use crate::error::Result;
+
+/// An aggregatable value: an element of an abelian group with a serialized
+/// form of bounded size.
+pub trait AggValue: Clone + std::fmt::Debug + PartialEq + 'static {
+    /// The group identity.
+    fn zero() -> Self;
+
+    /// `self += other`.
+    fn add_assign(&mut self, other: &Self);
+
+    /// `self -= other`.
+    fn sub_assign(&mut self, other: &Self);
+
+    /// Whether this value equals the identity.
+    fn is_zero(&self) -> bool;
+
+    /// Serializes the value. The encoding must be self-delimiting.
+    fn encode(&self, w: &mut ByteWriter);
+
+    /// Deserializes a value previously produced by [`encode`](Self::encode).
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self>;
+
+    /// Size in bytes [`encode`](Self::encode) will produce for this value.
+    fn encoded_size(&self) -> usize;
+
+    /// `self + other`, by value.
+    fn add(mut self, other: &Self) -> Self {
+        self.add_assign(other);
+        self
+    }
+
+    /// `self - other`, by value.
+    fn sub(mut self, other: &Self) -> Self {
+        self.sub_assign(other);
+        self
+    }
+}
+
+impl AggValue for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+
+    fn add_assign(&mut self, other: &Self) {
+        *self += other;
+    }
+
+    fn sub_assign(&mut self, other: &Self) {
+        *self -= other;
+    }
+
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_f64(*self);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        r.get_f64()
+    }
+
+    fn encoded_size(&self) -> usize {
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_group_laws() {
+        let mut a = 1.5f64;
+        a.add_assign(&2.5);
+        assert_eq!(a, 4.0);
+        a.sub_assign(&4.0);
+        assert!(a.is_zero());
+        assert!(f64::zero().is_zero());
+        assert_eq!(3.0f64.add(&4.0), 7.0);
+        assert_eq!(3.0f64.sub(&4.0), -1.0);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let mut w = ByteWriter::new();
+        let v = -17.25f64;
+        v.encode(&mut w);
+        assert_eq!(w.len(), v.encoded_size());
+        let bytes = w.into_vec();
+        assert_eq!(f64::decode(&mut ByteReader::new(&bytes)).unwrap(), v);
+    }
+}

@@ -1,0 +1,434 @@
+//! Ready-to-use box-sum engines over the concrete index backends.
+//!
+//! [`SimpleBoxSum`] wires the corner reduction (§2) to a chosen
+//! dominance-sum backend: `2^d` BA-trees, ECDF-Bu-trees or ECDF-Bq-trees
+//! sharing one page store (so index size and I/O are accounted for the
+//! whole structure, as in §6). [`FunctionalBoxSum`] does the same for
+//! the functional problem's single polynomial index.
+
+use boxagg_batree::BATree;
+use boxagg_common::error::Result;
+use boxagg_common::geom::Rect;
+use boxagg_common::poly::Poly;
+use boxagg_ecdf::{BorderPolicy, EcdfBTree};
+use boxagg_pagestore::{SharedStore, StoreConfig};
+
+pub use crate::functional::FunctionalBoxSum;
+pub use crate::reduction::{CornerBoxSum, EoBoxSum};
+
+use crate::functional::{corner_tuples, tuple_value_size, FunctionalObject};
+use crate::reduction::eo_index_space;
+
+/// A simple box-sum engine: the corner reduction over any backend.
+///
+/// This is the type alias applications normally use; see the
+/// constructors on [`SimpleBoxSum`].
+pub type SimpleBoxSum<I> = CornerBoxSum<I>;
+
+/// Scalar value size on pages.
+const F64_SIZE: usize = 8;
+
+impl SimpleBoxSum<BATree<f64>> {
+    /// Corner reduction over `2^d` BA-trees sharing a fresh store — the
+    /// paper's `BAT` configuration (§6).
+    pub fn batree(space: Rect, config: StoreConfig) -> Result<Self> {
+        let store = SharedStore::open(&config)?;
+        Self::batree_in(space, store)
+    }
+
+    /// Same, over an existing store.
+    pub fn batree_in(space: Rect, store: SharedStore) -> Result<Self> {
+        CornerBoxSum::new(space.dim(), |_| {
+            BATree::create(store.clone(), space, F64_SIZE)
+        })
+    }
+
+    /// Bulk-loads the `2^d` corner BA-trees from a dataset.
+    pub fn batree_bulk(space: Rect, config: StoreConfig, objects: &[(Rect, f64)]) -> Result<Self> {
+        let store = SharedStore::open(&config)?;
+        let mut engine = CornerBoxSum::new(space.dim(), |mask| {
+            let pts = objects.iter().map(|(r, v)| (r.corner(mask), *v)).collect();
+            BATree::bulk_load(store.clone(), space, F64_SIZE, pts)
+        })?;
+        engine.note_bulk_loaded(objects.len());
+        Ok(engine)
+    }
+}
+
+impl SimpleBoxSum<EcdfBTree<f64>> {
+    /// Corner reduction over `2^d` ECDF-B-trees sharing a fresh store —
+    /// the paper's `ECDFu` / `ECDFq` configurations (§6).
+    pub fn ecdf(dim: usize, policy: BorderPolicy, config: StoreConfig) -> Result<Self> {
+        let store = SharedStore::open(&config)?;
+        Self::ecdf_in(dim, policy, store)
+    }
+
+    /// Same, over an existing store.
+    pub fn ecdf_in(dim: usize, policy: BorderPolicy, store: SharedStore) -> Result<Self> {
+        CornerBoxSum::new(dim, |_| {
+            EcdfBTree::create(store.clone(), dim, policy, F64_SIZE)
+        })
+    }
+
+    /// Bulk-loads the `2^d` corner indexes from a dataset (§4) — how the
+    /// large §6 configurations are built.
+    pub fn ecdf_bulk(
+        dim: usize,
+        policy: BorderPolicy,
+        config: StoreConfig,
+        objects: &[(Rect, f64)],
+    ) -> Result<Self> {
+        let store = SharedStore::open(&config)?;
+        let mut engine = CornerBoxSum::new(dim, |mask| {
+            let pts = objects.iter().map(|(r, v)| (r.corner(mask), *v)).collect();
+            EcdfBTree::bulk_load(store.clone(), dim, policy, F64_SIZE, pts)
+        })?;
+        engine.note_bulk_loaded(objects.len());
+        Ok(engine)
+    }
+}
+
+impl EoBoxSum<BATree<f64>> {
+    /// The Edelsbrunner–Overmars reduction over BA-trees (Theorem 1
+    /// ablation baseline). Index `mask` covers the partially negated
+    /// space of [`eo_index_space`].
+    pub fn batree(space: Rect, config: StoreConfig) -> Result<Self> {
+        let store = SharedStore::open(&config)?;
+        EoBoxSum::new(space.dim(), |mask| {
+            BATree::create(store.clone(), eo_index_space(&space, mask), F64_SIZE)
+        })
+    }
+}
+
+impl FunctionalBoxSum<BATree<Poly>> {
+    /// Functional box-sum over a single polynomial BA-tree (§3 + §5):
+    /// the paper's functional `BAT` configuration. `max_degree` bounds
+    /// the total degree of any object's value function.
+    pub fn batree(space: Rect, config: StoreConfig, max_degree: u32) -> Result<Self> {
+        let store = SharedStore::open(&config)?;
+        Self::batree_in(space, store, max_degree)
+    }
+
+    /// Same, over an existing store.
+    pub fn batree_in(space: Rect, store: SharedStore, max_degree: u32) -> Result<Self> {
+        let tree = BATree::create(
+            store.clone(),
+            space,
+            tuple_value_size(space.dim(), max_degree),
+        )?;
+        FunctionalBoxSum::new(tree)
+    }
+
+    /// Bulk-loads the functional index: all corner tuples are computed
+    /// up front and the single polynomial BA-tree is built in one pass.
+    pub fn batree_bulk(
+        space: Rect,
+        config: StoreConfig,
+        max_degree: u32,
+        objects: &[FunctionalObject],
+    ) -> Result<Self> {
+        let store = SharedStore::open(&config)?;
+        let mut pts = Vec::with_capacity(objects.len() << space.dim());
+        for o in objects {
+            pts.extend(corner_tuples(o));
+        }
+        let tree = BATree::bulk_load(
+            store.clone(),
+            space,
+            tuple_value_size(space.dim(), max_degree),
+            pts,
+        )?;
+        let mut engine = FunctionalBoxSum::new(tree)?;
+        engine.note_bulk_loaded(objects.len());
+        Ok(engine)
+    }
+}
+
+impl FunctionalBoxSum<EcdfBTree<Poly>> {
+    /// Functional box-sum over a single polynomial ECDF-B-tree.
+    pub fn ecdf(
+        dim: usize,
+        policy: BorderPolicy,
+        config: StoreConfig,
+        max_degree: u32,
+    ) -> Result<Self> {
+        let store = SharedStore::open(&config)?;
+        let tree = EcdfBTree::create(
+            store.clone(),
+            dim,
+            policy,
+            tuple_value_size(dim, max_degree),
+        )?;
+        FunctionalBoxSum::new(tree)
+    }
+
+    /// Bulk-loads the functional index from objects (corner tuples
+    /// computed up front, one bulk build).
+    pub fn ecdf_bulk(
+        dim: usize,
+        policy: BorderPolicy,
+        config: StoreConfig,
+        max_degree: u32,
+        objects: &[FunctionalObject],
+    ) -> Result<Self> {
+        let store = SharedStore::open(&config)?;
+        let mut pts = Vec::with_capacity(objects.len() << dim);
+        for o in objects {
+            pts.extend(corner_tuples(o));
+        }
+        let tree = EcdfBTree::bulk_load(
+            store.clone(),
+            dim,
+            policy,
+            tuple_value_size(dim, max_degree),
+            pts,
+        )?;
+        let mut engine = FunctionalBoxSum::new(tree)?;
+        engine.note_bulk_loaded(objects.len());
+        Ok(engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functional::FunctionalObject;
+    use boxagg_common::geom::Point;
+    use boxagg_common::value::AggValue;
+
+    fn rnd(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    fn rand_rect(s: &mut u64, side: f64) -> Rect {
+        let low = Point::from_fn(2, |_| rnd(s) * (1.0 - side));
+        let high = Point::from_fn(2, |i| low.get(i) + rnd(s) * side);
+        Rect::new(low, high)
+    }
+
+    fn unit_space() -> Rect {
+        Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)])
+    }
+
+    fn dataset(n: usize, seed: u64) -> Vec<(Rect, f64)> {
+        let mut s = seed;
+        (0..n)
+            .map(|i| (rand_rect(&mut s, 0.1), (i % 5) as f64 + 1.0))
+            .collect()
+    }
+
+    fn brute(objs: &[(Rect, f64)], q: &Rect) -> f64 {
+        objs.iter()
+            .filter(|(r, _)| r.intersects(q))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    #[test]
+    fn batree_backend_answers_box_sums() {
+        let objs = dataset(300, 11);
+        let mut e = SimpleBoxSum::batree(unit_space(), StoreConfig::small(1024, 256)).unwrap();
+        for (r, v) in &objs {
+            e.insert(r, *v).unwrap();
+        }
+        let mut s = 12u64;
+        for _ in 0..60 {
+            let q = rand_rect(&mut s, 0.4);
+            let got = e.query(&q).unwrap();
+            let want = brute(&objs, &q);
+            assert!((got - want).abs() < 1e-6, "got {got}, want {want}");
+        }
+        assert_eq!(e.len(), 300);
+    }
+
+    #[test]
+    fn batree_bulk_matches_dynamic_engine() {
+        let objs = dataset(600, 71);
+        let mut bulk =
+            SimpleBoxSum::batree_bulk(unit_space(), StoreConfig::small(1024, 256), &objs).unwrap();
+        let mut dynamic =
+            SimpleBoxSum::batree(unit_space(), StoreConfig::small(1024, 256)).unwrap();
+        for (r, v) in &objs {
+            dynamic.insert(r, *v).unwrap();
+        }
+        assert_eq!(bulk.len(), 600);
+        let mut s = 72u64;
+        for _ in 0..50 {
+            let q = rand_rect(&mut s, 0.3);
+            let a = bulk.query(&q).unwrap();
+            let b = dynamic.query(&q).unwrap();
+            assert!((a - b).abs() < 1e-6 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn deletion_by_negation() {
+        let objs = dataset(200, 81);
+        let mut e = SimpleBoxSum::batree(unit_space(), StoreConfig::small(1024, 128)).unwrap();
+        for (r, v) in &objs {
+            e.insert(r, *v).unwrap();
+        }
+        // Delete half the objects; queries must match brute force over
+        // the survivors.
+        for (r, v) in &objs[..100] {
+            e.delete(r, *v).unwrap();
+        }
+        assert_eq!(e.len(), 100);
+        let mut s = 82u64;
+        for _ in 0..40 {
+            let q = rand_rect(&mut s, 0.4);
+            let want = brute(&objs[100..], &q);
+            let got = e.query(&q).unwrap();
+            assert!(
+                (got - want).abs() < 1e-6 * want.abs().max(1.0),
+                "after deletes: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn functional_deletion_by_negation() {
+        let space = Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]);
+        let mut e = FunctionalBoxSum::batree(space, StoreConfig::small(2048, 128), 1).unwrap();
+        let keep = FunctionalObject::new(
+            Rect::from_bounds(&[(0.1, 0.6), (0.1, 0.6)]),
+            Poly::monomial(2.0, &[1, 0]),
+        )
+        .unwrap();
+        let gone = FunctionalObject::new(
+            Rect::from_bounds(&[(0.2, 0.9), (0.3, 0.8)]),
+            Poly::constant(5.0),
+        )
+        .unwrap();
+        e.insert(&keep).unwrap();
+        e.insert(&gone).unwrap();
+        e.delete(&gone).unwrap();
+        assert_eq!(e.len(), 1);
+        let q = Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]);
+        let want = keep.contribution(&q);
+        let got = e.query(&q).unwrap();
+        assert!((got - want).abs() < 1e-9 * want.abs().max(1.0));
+    }
+
+    #[test]
+    fn ecdf_backends_answer_box_sums() {
+        let objs = dataset(250, 21);
+        for policy in [BorderPolicy::UpdateOptimized, BorderPolicy::QueryOptimized] {
+            let mut e = SimpleBoxSum::ecdf(2, policy, StoreConfig::small(1024, 256)).unwrap();
+            for (r, v) in &objs {
+                e.insert(r, *v).unwrap();
+            }
+            let mut s = 22u64;
+            for _ in 0..40 {
+                let q = rand_rect(&mut s, 0.4);
+                let got = e.query(&q).unwrap();
+                let want = brute(&objs, &q);
+                assert!(
+                    (got - want).abs() < 1e-6,
+                    "{policy:?}: got {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ecdf_bulk_matches_dynamic() {
+        let objs = dataset(400, 31);
+        let mut bulk = SimpleBoxSum::ecdf_bulk(
+            2,
+            BorderPolicy::QueryOptimized,
+            StoreConfig::small(1024, 256),
+            &objs,
+        )
+        .unwrap();
+        assert_eq!(bulk.len(), 400);
+        let mut s = 32u64;
+        for _ in 0..40 {
+            let q = rand_rect(&mut s, 0.3);
+            let got = bulk.query(&q).unwrap();
+            let want = brute(&objs, &q);
+            assert!((got - want).abs() < 1e-6, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn eo_batree_matches_corner_batree() {
+        let objs = dataset(200, 41);
+        let mut corner = SimpleBoxSum::batree(unit_space(), StoreConfig::small(1024, 256)).unwrap();
+        let mut eo = EoBoxSum::batree(unit_space(), StoreConfig::small(1024, 256)).unwrap();
+        for (r, v) in &objs {
+            corner.insert(r, *v).unwrap();
+            eo.insert(r, *v).unwrap();
+        }
+        let mut s = 42u64;
+        for _ in 0..40 {
+            let q = rand_rect(&mut s, 0.5);
+            let a = corner.query(&q).unwrap();
+            let b = eo.query(&q).unwrap();
+            assert!((a - b).abs() < 1e-6, "corner {a} vs eo {b}");
+        }
+        assert!(eo.queries_issued() > corner.queries_issued());
+    }
+
+    #[test]
+    fn functional_batree_matches_oracle() {
+        let mut s = 51u64;
+        let mut e = FunctionalBoxSum::batree(
+            Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]),
+            StoreConfig::small(2048, 256),
+            2,
+        )
+        .unwrap();
+        let mut objs = Vec::new();
+        for _ in 0..120 {
+            let r = rand_rect(&mut s, 0.3);
+            let f = Poly::monomial(rnd(&mut s), &[1, 0])
+                .add(&Poly::monomial(rnd(&mut s), &[0, 2]))
+                .add(&Poly::constant(rnd(&mut s)));
+            let o = FunctionalObject::new(r, f).unwrap();
+            e.insert(&o).unwrap();
+            objs.push(o);
+        }
+        for _ in 0..30 {
+            let q = rand_rect(&mut s, 0.5);
+            let want: f64 = objs.iter().map(|o| o.contribution(&q)).sum();
+            let got = e.query(&q).unwrap();
+            assert!(
+                (got - want).abs() < 1e-9 * want.abs().max(1.0),
+                "got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn functional_ecdf_bulk_matches_oracle() {
+        let mut s = 61u64;
+        let mut objs = Vec::new();
+        for _ in 0..150 {
+            let r = rand_rect(&mut s, 0.3);
+            let o = FunctionalObject::new(r, Poly::constant(rnd(&mut s) * 3.0)).unwrap();
+            objs.push(o);
+        }
+        let mut e = FunctionalBoxSum::ecdf_bulk(
+            2,
+            BorderPolicy::QueryOptimized,
+            StoreConfig::small(2048, 256),
+            0,
+            &objs,
+        )
+        .unwrap();
+        assert_eq!(e.len(), 150);
+        for _ in 0..30 {
+            let q = rand_rect(&mut s, 0.5);
+            let want: f64 = objs.iter().map(|o| o.contribution(&q)).sum();
+            let got = e.query(&q).unwrap();
+            assert!(
+                (got - want).abs() < 1e-9 * want.abs().max(1.0),
+                "got {got}, want {want}"
+            );
+        }
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Paged storage substrate for the `boxagg` index structures.
+//!
+//! Every index in the workspace (ECDF-B-trees, BA-tree, R*-/aR-tree) is
+//! *disk-based*: nodes are serialized into fixed-size pages and all access
+//! goes through an LRU buffer pool that counts I/Os — the paper's §6
+//! experiments report exactly this metric (8 KB pages, 10 MB LRU buffer).
+//!
+//! Layers, bottom to top:
+//!
+//! * [`pager`] — raw page storage ([`pager::MemPager`] for
+//!   benchmarks where only the *count* of I/Os matters, and
+//!   [`pager::FilePager`] for real files),
+//! * [`buffer`] — the [`buffer::BufferPool`]: LRU caching,
+//!   dirty write-back, [`buffer::IoStats`],
+//! * [`store`] — [`store::SharedStore`], a cheaply-clonable
+//!   handle letting many trees (e.g. a BA-tree and its recursive border
+//!   trees) share one pool so space and I/O are accounted jointly.
+
+pub mod buffer;
+pub mod pager;
+pub mod store;
+
+pub use buffer::{BufferPool, IoStats};
+pub use pager::{FilePager, MemPager, PageId, Pager, DEFAULT_PAGE_SIZE};
+pub use store::{Backing, SharedStore, StoreConfig};

@@ -1,0 +1,144 @@
+//! The R*-tree topological split (Beckmann, Kriegel, Schneider, Seeger
+//! 1990).
+//!
+//! ChooseSplitAxis picks the axis minimizing the summed margins of all
+//! candidate distributions; ChooseSplitIndex picks the distribution on
+//! that axis with least overlap (ties: least total area). Candidate
+//! distributions put the first `k` entries (in low- or high-sorted
+//! order) in one group, `k ∈ [m, M+1−m]`, with `m = 40%` fill.
+//!
+//! Forced reinsertion is deliberately omitted (see DESIGN.md): it
+//! complicates aggregate maintenance along partially-unwound insertion
+//! paths and improves query cost only modestly; the comparison shapes of
+//! §6 do not depend on it.
+
+use boxagg_common::geom::Rect;
+
+/// Trait unifying leaf and index entries for the split algorithm.
+pub trait HasRect {
+    /// The entry's bounding box.
+    fn rect(&self) -> &Rect;
+}
+
+fn bounding(entries: &[impl HasRect]) -> Rect {
+    let mut r = *entries[0].rect();
+    for e in &entries[1..] {
+        r = r.union(e.rect());
+    }
+    r
+}
+
+/// Splits `entries` (an overfull node's contents) into two groups per the
+/// R* algorithm. Returns `(left, right)`, each holding at least
+/// `min_fill` entries.
+pub fn rstar_split<E: HasRect>(mut entries: Vec<E>, min_fill: usize) -> (Vec<E>, Vec<E>) {
+    let total = entries.len();
+    debug_assert!(total >= 2 * min_fill, "node too small to split");
+    let dim = entries[0].rect().dim();
+
+    // ChooseSplitAxis: minimize the margin sum over all distributions of
+    // both sorts.
+    let mut best_axis = 0;
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..dim {
+        let mut margin = 0.0;
+        for sort_by_high in [false, true] {
+            sort_entries(&mut entries, axis, sort_by_high);
+            for k in min_fill..=(total - min_fill) {
+                margin += bounding(&entries[..k]).margin() + bounding(&entries[k..]).margin();
+            }
+        }
+        if margin < best_margin {
+            best_margin = margin;
+            best_axis = axis;
+        }
+    }
+
+    // ChooseSplitIndex on the best axis: min overlap, ties min total area.
+    let mut best: Option<(bool, usize, f64, f64)> = None;
+    for sort_by_high in [false, true] {
+        sort_entries(&mut entries, best_axis, sort_by_high);
+        for k in min_fill..=(total - min_fill) {
+            let left = bounding(&entries[..k]);
+            let right = bounding(&entries[k..]);
+            let overlap = left.overlap_volume(&right);
+            let area = left.volume() + right.volume();
+            let better = match best {
+                None => true,
+                Some((_, _, o, a)) => overlap < o || (overlap == o && area < a),
+            };
+            if better {
+                best = Some((sort_by_high, k, overlap, area));
+            }
+        }
+    }
+    let (sort_by_high, k, _, _) = best.expect("at least one distribution exists");
+    sort_entries(&mut entries, best_axis, sort_by_high);
+    let right = entries.split_off(k);
+    (entries, right)
+}
+
+fn sort_entries<E: HasRect>(entries: &mut [E], axis: usize, by_high: bool) {
+    entries.sort_by(|a, b| {
+        let (ka, kb) = if by_high {
+            (a.rect().high().get(axis), b.rect().high().get(axis))
+        } else {
+            (a.rect().low().get(axis), b.rect().low().get(axis))
+        };
+        ka.partial_cmp(&kb).unwrap()
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct E(Rect);
+    impl HasRect for E {
+        fn rect(&self) -> &Rect {
+            &self.0
+        }
+    }
+
+    #[test]
+    fn split_separates_two_clusters() {
+        // Two clear clusters along x: the split must cut between them.
+        let mut es = Vec::new();
+        for i in 0..5 {
+            let x = i as f64 * 0.1;
+            es.push(E(Rect::from_bounds(&[(x, x + 0.05), (0.0, 1.0)])));
+        }
+        for i in 0..5 {
+            let x = 10.0 + i as f64 * 0.1;
+            es.push(E(Rect::from_bounds(&[(x, x + 0.05), (0.0, 1.0)])));
+        }
+        let (l, r) = rstar_split(es, 2);
+        assert_eq!(l.len() + r.len(), 10);
+        assert!(l.len() >= 2 && r.len() >= 2);
+        let lb = bounding(&l);
+        let rb = bounding(&r);
+        assert_eq!(lb.overlap_volume(&rb), 0.0, "clusters must not overlap");
+    }
+
+    #[test]
+    fn split_respects_min_fill() {
+        let es: Vec<E> = (0..8)
+            .map(|i| {
+                let x = i as f64;
+                E(Rect::from_bounds(&[(x, x + 0.5), (0.0, 0.5)]))
+            })
+            .collect();
+        let (l, r) = rstar_split(es, 3);
+        assert!(l.len() >= 3 && r.len() >= 3);
+        assert_eq!(l.len() + r.len(), 8);
+    }
+
+    #[test]
+    fn split_identical_rects_is_balanced_enough() {
+        let es: Vec<E> = (0..6)
+            .map(|_| E(Rect::from_bounds(&[(1.0, 2.0), (1.0, 2.0)])))
+            .collect();
+        let (l, r) = rstar_split(es, 2);
+        assert!(l.len() >= 2 && r.len() >= 2);
+    }
+}

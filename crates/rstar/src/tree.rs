@@ -1,0 +1,694 @@
+//! The disk-based R*-tree / aR-tree.
+
+use boxagg_common::bytes::ByteWriter;
+use boxagg_common::error::{invalid_arg, Result};
+use boxagg_common::geom::Rect;
+use boxagg_common::poly::Poly;
+use boxagg_pagestore::{PageId, SharedStore};
+
+use crate::node::{summarize, IndexEntry, LeafEntry, LeafPayload, Node, RParams};
+use crate::split::{rstar_split, HasRect};
+
+impl<L> HasRect for LeafEntry<L> {
+    fn rect(&self) -> &Rect {
+        &self.rect
+    }
+}
+
+impl HasRect for IndexEntry {
+    fn rect(&self) -> &Rect {
+        &self.rect
+    }
+}
+
+/// Aggregate query result: SUM and COUNT (AVG = sum / count).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AggResult {
+    /// Total aggregate of the qualifying objects.
+    pub sum: f64,
+    /// Number of qualifying objects.
+    pub count: u64,
+}
+
+impl AggResult {
+    /// AVG aggregate (`None` when no object qualifies).
+    pub fn avg(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+}
+
+/// A disk-based R*-tree over boxed objects with per-entry aggregate
+/// summaries — i.e. the **aR-tree** of \[21, 25\] that the paper uses as
+/// its baseline (§6). Querying with [`box_sum`](RStarTree::box_sum) uses
+/// the aggregate shortcut; [`box_sum_scan`](RStarTree::box_sum_scan)
+/// ignores it, behaving like a plain R*-tree reduced to range search.
+///
+/// `L` is the extra per-object payload: `()` for simple weighted boxes,
+/// [`Poly`] for functional objects (see
+/// [`functional_sum`](RStarTree::functional_sum)).
+///
+/// ```
+/// use boxagg_rstar::RStarTree;
+/// use boxagg_common::Rect;
+/// use boxagg_pagestore::{SharedStore, StoreConfig};
+///
+/// let store = SharedStore::open(&StoreConfig::default()).unwrap();
+/// let mut t: RStarTree<()> = RStarTree::create(store, 2, 0).unwrap();
+/// t.insert(Rect::from_bounds(&[(0.0, 2.0), (0.0, 2.0)]), 3.0, ()).unwrap();
+/// t.insert(Rect::from_bounds(&[(5.0, 7.0), (5.0, 7.0)]), 4.0, ()).unwrap();
+/// let q = Rect::from_bounds(&[(1.0, 6.0), (1.0, 6.0)]);
+/// assert_eq!(t.box_sum(&q).unwrap().sum, 7.0);
+/// ```
+pub struct RStarTree<L: LeafPayload> {
+    store: SharedStore,
+    params: RParams,
+    dim: usize,
+    root: PageId,
+    /// Leaf level = 0; the root sits at `height - 1` (height ≥ 1).
+    height: usize,
+    len: usize,
+    /// Decoded nodes of the most recently traversed query path — the
+    /// "path buffer" the paper grants the aR-tree in addition to the LRU
+    /// buffer (§6). Reads served from it cost no page access. Cleared on
+    /// any modification.
+    path_buffer: Vec<(PageId, Node<L>)>,
+    /// Whether the path buffer is consulted (on by default).
+    pub use_path_buffer: bool,
+}
+
+impl<L: LeafPayload> RStarTree<L> {
+    /// Creates an empty tree over `dim`-dimensional boxes.
+    ///
+    /// `max_payload_size` bounds the encoded payload size (0 for `()`).
+    pub fn create(store: SharedStore, dim: usize, max_payload_size: usize) -> Result<Self> {
+        if dim == 0 {
+            return Err(invalid_arg("dimension must be at least 1"));
+        }
+        let params = RParams {
+            page_size: store.page_size(),
+            max_payload_size,
+        };
+        params.validate(dim)?;
+        let root = store.allocate()?;
+        let node: Node<L> = Node::Leaf(Vec::new());
+        let mut w = ByteWriter::with_capacity(params.page_size);
+        node.encode(dim, &mut w);
+        store.write_page(root, w.as_slice())?;
+        Ok(Self {
+            store,
+            params,
+            dim,
+            root,
+            height: 1,
+            len: 0,
+            path_buffer: Vec::new(),
+            use_path_buffer: true,
+        })
+    }
+
+    /// The shared page store.
+    pub fn store(&self) -> &SharedStore {
+        &self.store
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (1 = a single leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The root page id.
+    pub fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    fn read(&self, id: PageId) -> Result<Node<L>> {
+        self.store
+            .with_page(id, |bytes| Node::decode(bytes, self.dim))?
+    }
+
+    /// Reads a node during a query, consulting and feeding the path
+    /// buffer.
+    fn read_q(&mut self, id: PageId) -> Result<Node<L>> {
+        if self.use_path_buffer {
+            if let Some((_, node)) = self.path_buffer.iter().find(|(pid, _)| *pid == id) {
+                return Ok(node.clone());
+            }
+        }
+        let node = self.read(id)?;
+        if self.use_path_buffer {
+            // Bound the buffer to one root-to-leaf path's worth of nodes.
+            if self.path_buffer.len() >= self.height {
+                self.path_buffer.remove(0);
+            }
+            self.path_buffer.push((id, node.clone()));
+        }
+        Ok(node)
+    }
+
+    fn write(&self, id: PageId, node: &Node<L>) -> Result<()> {
+        debug_assert!(node.fits(&self.params, self.dim));
+        let mut w = ByteWriter::with_capacity(self.params.page_size);
+        node.encode(self.dim, &mut w);
+        self.store.write_page(id, w.as_slice())
+    }
+
+    // -- insertion -------------------------------------------------------
+
+    /// Inserts an object with scalar aggregate `agg` and payload.
+    pub fn insert(&mut self, rect: Rect, agg: f64, payload: L) -> Result<()> {
+        if rect.dim() != self.dim {
+            return Err(invalid_arg(format!(
+                "object dimension {} != tree dimension {}",
+                rect.dim(),
+                self.dim
+            )));
+        }
+        self.path_buffer.clear();
+        let entry = LeafEntry { rect, agg, payload };
+        let depth = self.height - 1;
+        if let Some((left, right)) = self.insert_rec(self.root, depth, entry)? {
+            // Root split: grow the tree.
+            let new_root = self.store.allocate()?;
+            let node = Node::Index(vec![left, right]);
+            self.write(new_root, &node)?;
+            self.root = new_root;
+            self.height += 1;
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Recursive insert at `depth` (0 = leaf). Returns the two
+    /// replacement entries when the node split.
+    fn insert_rec(
+        &mut self,
+        node_id: PageId,
+        depth: usize,
+        entry: LeafEntry<L>,
+    ) -> Result<Option<(IndexEntry, IndexEntry)>> {
+        let mut node = self.read(node_id)?;
+        match &mut node {
+            Node::Leaf(entries) => {
+                entries.push(entry);
+                if node.fits(&self.params, self.dim) {
+                    self.write(node_id, &node)?;
+                    return Ok(None);
+                }
+                let Node::Leaf(entries) = node else {
+                    unreachable!()
+                };
+                let min_fill = RParams::min_fill(self.params.leaf_cap(self.dim));
+                let (l, r) = rstar_split(entries, min_fill);
+                self.finish_split(node_id, Node::Leaf(l), Node::Leaf(r))
+            }
+            Node::Index(entries) => {
+                let i = choose_subtree(entries, &entry.rect, depth == 1);
+                let split = self.insert_rec(entries[i].child, depth - 1, entry)?;
+                match split {
+                    None => {
+                        // Refresh the descended entry's summary.
+                        let child = self.read(entries[i].child)?;
+                        let (rect, agg, count) = summarize(&child);
+                        entries[i] = IndexEntry {
+                            rect,
+                            child: entries[i].child,
+                            agg,
+                            count,
+                        };
+                    }
+                    Some((l, r)) => {
+                        entries[i] = l;
+                        entries.push(r);
+                    }
+                }
+                if node.fits(&self.params, self.dim) {
+                    self.write(node_id, &node)?;
+                    return Ok(None);
+                }
+                let Node::Index(entries) = node else {
+                    unreachable!()
+                };
+                let min_fill = RParams::min_fill(self.params.index_cap(self.dim));
+                let (l, r) = rstar_split(entries, min_fill);
+                self.finish_split(node_id, Node::Index(l), Node::Index(r))
+            }
+        }
+    }
+
+    /// Writes split halves (low half reuses the page) and returns their
+    /// parent entries.
+    fn finish_split(
+        &mut self,
+        node_id: PageId,
+        left: Node<L>,
+        right: Node<L>,
+    ) -> Result<Option<(IndexEntry, IndexEntry)>> {
+        let right_id = self.store.allocate()?;
+        self.write(node_id, &left)?;
+        self.write(right_id, &right)?;
+        let (lr, la, lc) = summarize(&left);
+        let (rr, ra, rc) = summarize(&right);
+        Ok(Some((
+            IndexEntry {
+                rect: lr,
+                child: node_id,
+                agg: la,
+                count: lc,
+            },
+            IndexEntry {
+                rect: rr,
+                child: right_id,
+                agg: ra,
+                count: rc,
+            },
+        )))
+    }
+
+    // -- queries ---------------------------------------------------------
+
+    /// Simple box-sum with the aR-tree aggregate shortcut: subtrees whose
+    /// MBR is contained in `q` contribute their stored aggregate without
+    /// being visited.
+    pub fn box_sum(&mut self, q: &Rect) -> Result<AggResult> {
+        self.query(self.root, q, true)
+    }
+
+    /// Simple box-sum *without* the shortcut — the plain R*-tree reduced
+    /// to a range search that accumulates object values (§1's
+    /// "straightforward approach").
+    pub fn box_sum_scan(&mut self, q: &Rect) -> Result<AggResult> {
+        self.query(self.root, q, false)
+    }
+
+    fn query(&mut self, node_id: PageId, q: &Rect, shortcut: bool) -> Result<AggResult> {
+        let node = self.read_q(node_id)?;
+        let mut acc = AggResult::default();
+        match node {
+            Node::Leaf(entries) => {
+                for e in &entries {
+                    if e.rect.intersects(q) {
+                        acc.sum += e.agg;
+                        acc.count += 1;
+                    }
+                }
+            }
+            Node::Index(entries) => {
+                for e in &entries {
+                    if shortcut && q.contains_rect(&e.rect) {
+                        acc.sum += e.agg;
+                        acc.count += e.count;
+                    } else if e.rect.intersects(q) {
+                        let sub = self.query(e.child, q, shortcut)?;
+                        acc.sum += sub.sum;
+                        acc.count += sub.count;
+                    }
+                }
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Range reporting: every object whose box intersects `q` (the
+    /// classic R-tree window query; the "straightforward approach" of
+    /// §1 computes aggregates by scanning this result).
+    pub fn range_query(&mut self, q: &Rect) -> Result<Vec<LeafEntry<L>>> {
+        let mut out = Vec::new();
+        self.range_rec(self.root, q, &mut out)?;
+        Ok(out)
+    }
+
+    fn range_rec(&mut self, node_id: PageId, q: &Rect, out: &mut Vec<LeafEntry<L>>) -> Result<()> {
+        match self.read_q(node_id)? {
+            Node::Leaf(entries) => {
+                out.extend(entries.into_iter().filter(|e| e.rect.intersects(q)));
+            }
+            Node::Index(entries) => {
+                for e in &entries {
+                    if e.rect.intersects(q) {
+                        self.range_rec(e.child, q, out)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Enumerates all objects (tests/diagnostics).
+    pub fn enumerate(&self) -> Result<Vec<LeafEntry<L>>> {
+        let mut out = Vec::new();
+        self.enumerate_rec(self.root, &mut out)?;
+        Ok(out)
+    }
+
+    fn enumerate_rec(&self, node_id: PageId, out: &mut Vec<LeafEntry<L>>) -> Result<()> {
+        match self.read(node_id)? {
+            Node::Leaf(mut entries) => out.append(&mut entries),
+            Node::Index(entries) => {
+                for e in entries {
+                    self.enumerate_rec(e.child, out)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn set_root(&mut self, root: PageId, height: usize, len: usize) {
+        self.root = root;
+        self.height = height;
+        self.len = len;
+        self.path_buffer.clear();
+    }
+}
+
+impl RStarTree<Poly> {
+    /// Functional box-sum on the aR-tree: each object contributes the
+    /// integral of its value function over its intersection with `q`
+    /// (§3). Subtrees fully contained in `q` contribute their stored
+    /// total mass without being visited.
+    pub fn functional_sum(&mut self, q: &Rect) -> Result<f64> {
+        self.functional_rec(self.root, q, true)
+    }
+
+    /// Functional box-sum without the mass shortcut (plain R*-tree
+    /// behavior).
+    pub fn functional_sum_scan(&mut self, q: &Rect) -> Result<f64> {
+        self.functional_rec(self.root, q, false)
+    }
+
+    fn functional_rec(&mut self, node_id: PageId, q: &Rect, shortcut: bool) -> Result<f64> {
+        let node = self.read_q(node_id)?;
+        let mut acc = 0.0;
+        match node {
+            Node::Leaf(entries) => {
+                for e in &entries {
+                    if let Some(cell) = e.rect.intersection(q) {
+                        if q.contains_rect(&e.rect) {
+                            // Whole object inside: its stored mass.
+                            acc += e.agg;
+                        } else {
+                            acc += e.payload.integral_over(cell.low(), cell.high());
+                        }
+                    }
+                }
+            }
+            Node::Index(entries) => {
+                for e in &entries {
+                    if shortcut && q.contains_rect(&e.rect) {
+                        acc += e.agg;
+                    } else if e.rect.intersects(q) {
+                        acc += self.functional_rec(e.child, q, shortcut)?;
+                    }
+                }
+            }
+        }
+        Ok(acc)
+    }
+}
+
+/// R* ChooseSubtree: when the children are leaves, minimize overlap
+/// enlargement (ties: area enlargement, then area); otherwise minimize
+/// area enlargement (ties: area).
+fn choose_subtree(entries: &[IndexEntry], rect: &Rect, children_are_leaves: bool) -> usize {
+    debug_assert!(!entries.is_empty());
+    let area_enlargement = |e: &IndexEntry| {
+        let u = e.rect.union(rect);
+        u.volume() - e.rect.volume()
+    };
+    if children_are_leaves {
+        let mut best = 0;
+        let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for (i, e) in entries.iter().enumerate() {
+            let enlarged = e.rect.union(rect);
+            let mut overlap_delta = 0.0;
+            for (j, o) in entries.iter().enumerate() {
+                if i != j {
+                    overlap_delta +=
+                        enlarged.overlap_volume(&o.rect) - e.rect.overlap_volume(&o.rect);
+                }
+            }
+            let key = (overlap_delta, area_enlargement(e), e.rect.volume());
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    } else {
+        let mut best = 0;
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
+        for (i, e) in entries.iter().enumerate() {
+            let key = (area_enlargement(e), e.rect.volume());
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boxagg_pagestore::StoreConfig;
+
+    fn rnd(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    fn rand_rect(s: &mut u64, side: f64) -> Rect {
+        let x = rnd(s) * (1.0 - side);
+        let y = rnd(s) * (1.0 - side);
+        let w = rnd(s) * side;
+        let h = rnd(s) * side;
+        Rect::from_bounds(&[(x, x + w), (y, y + h)])
+    }
+
+    fn new_tree(page: usize) -> RStarTree<()> {
+        let store = SharedStore::open(&StoreConfig::small(page, 128)).unwrap();
+        RStarTree::create(store, 2, 0).unwrap()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let mut t = new_tree(512);
+        let q = Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]);
+        assert_eq!(t.box_sum(&q).unwrap(), AggResult::default());
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn edge_touching_objects_count() {
+        let mut t = new_tree(512);
+        t.insert(Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]), 5.0, ())
+            .unwrap();
+        // Query touching the object's right edge intersects (closed).
+        let q = Rect::from_bounds(&[(1.0, 2.0), (0.0, 1.0)]);
+        assert_eq!(t.box_sum(&q).unwrap().sum, 5.0);
+        let q2 = Rect::from_bounds(&[(1.0001, 2.0), (0.0, 1.0)]);
+        assert_eq!(t.box_sum(&q2).unwrap().sum, 0.0);
+    }
+
+    fn brute(objs: &[(Rect, f64)], q: &Rect) -> AggResult {
+        let mut acc = AggResult::default();
+        for (r, v) in objs {
+            if r.intersects(q) {
+                acc.sum += v;
+                acc.count += 1;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn matches_brute_force_with_splits() {
+        let mut t = new_tree(512);
+        let mut objs = Vec::new();
+        let mut s = 99u64;
+        for i in 0..800 {
+            let r = rand_rect(&mut s, 0.1);
+            let v = (i % 11) as f64 - 5.0;
+            t.insert(r, v, ()).unwrap();
+            objs.push((r, v));
+        }
+        assert!(t.height() > 2, "tree must actually have split");
+        for _ in 0..200 {
+            let q = rand_rect(&mut s, 0.4);
+            let got = t.box_sum(&q).unwrap();
+            let want = brute(&objs, &q);
+            assert!((got.sum - want.sum).abs() < 1e-6, "sum {got:?} vs {want:?}");
+            assert_eq!(got.count, want.count);
+            // The scan (plain R-tree) answer must agree.
+            let scan = t.box_sum_scan(&q).unwrap();
+            assert!((scan.sum - want.sum).abs() < 1e-6);
+            assert_eq!(scan.count, want.count);
+        }
+        assert_eq!(t.enumerate().unwrap().len(), 800);
+    }
+
+    #[test]
+    fn aggregate_shortcut_reads_fewer_pages() {
+        let store = SharedStore::open(&StoreConfig::small(512, 10_000)).unwrap();
+        let mut t: RStarTree<()> = RStarTree::create(store.clone(), 2, 0).unwrap();
+        let mut s = 5u64;
+        for _ in 0..2000 {
+            t.insert(rand_rect(&mut s, 0.02), 1.0, ()).unwrap();
+        }
+        let q = Rect::from_bounds(&[(0.1, 0.9), (0.1, 0.9)]);
+        t.use_path_buffer = false;
+
+        store.reset_stats();
+        let a = t.box_sum(&q).unwrap();
+        let agg_ios = store.stats().hits + store.stats().reads;
+
+        store.reset_stats();
+        let b = t.box_sum_scan(&q).unwrap();
+        let scan_ios = store.stats().hits + store.stats().reads;
+
+        assert_eq!(a, b);
+        assert!(
+            agg_ios < scan_ios / 2,
+            "aggregate shortcut should visit far fewer pages: {agg_ios} vs {scan_ios}"
+        );
+    }
+
+    #[test]
+    fn avg_aggregate() {
+        let mut t = new_tree(512);
+        t.insert(Rect::from_bounds(&[(0.0, 0.1), (0.0, 0.1)]), 2.0, ())
+            .unwrap();
+        t.insert(Rect::from_bounds(&[(0.0, 0.2), (0.0, 0.2)]), 4.0, ())
+            .unwrap();
+        let q = Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]);
+        let r = t.box_sum(&q).unwrap();
+        assert_eq!(r.avg(), Some(3.0));
+        assert_eq!(AggResult::default().avg(), None);
+    }
+
+    #[test]
+    fn functional_objects_integrate_over_intersection() {
+        let store = SharedStore::open(&StoreConfig::small(1024, 128)).unwrap();
+        let mut t: RStarTree<Poly> = RStarTree::create(store, 2, 200).unwrap();
+        // Paper §3 / Fig. 3a: objects valued 4 and 3 (per unit area), and
+        // an object valued 6 that misses the query box. Boxes recovered
+        // from the worked corner tuples of Fig. 5b: value-4 object
+        // [2,15]×[10,15], value-3 object [18,30]×[4,10].
+        let o1 = Rect::from_bounds(&[(2.0, 15.0), (10.0, 15.0)]);
+        let o2 = Rect::from_bounds(&[(18.0, 30.0), (4.0, 10.0)]);
+        let o3 = Rect::from_bounds(&[(26.0, 30.0), (15.0, 26.0)]);
+        let f1 = Poly::constant(4.0);
+        let f2 = Poly::constant(3.0);
+        let f3 = Poly::constant(6.0);
+        t.insert(o1, f1.integral_over(o1.low(), o1.high()), f1)
+            .unwrap();
+        t.insert(o2, f2.integral_over(o2.low(), o2.high()), f2)
+            .unwrap();
+        t.insert(o3, f3.integral_over(o3.low(), o3.high()), f3)
+            .unwrap();
+        let q = Rect::from_bounds(&[(5.0, 20.0), (3.0, 15.0)]);
+        // Intersections 10×5 and 2×6: 4·50 + 3·12 = 236 (the paper's
+        // worked example).
+        assert!((t.functional_sum(&q).unwrap() - 236.0).abs() < 1e-9);
+        assert!((t.functional_sum_scan(&q).unwrap() - 236.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn functional_non_constant_function() {
+        let store = SharedStore::open(&StoreConfig::small(1024, 128)).unwrap();
+        let mut t: RStarTree<Poly> = RStarTree::create(store, 2, 200).unwrap();
+        // Fig. 3b: f(x, y) = x − 2 over [5,20]×[3,15].
+        let obj = Rect::from_bounds(&[(5.0, 20.0), (3.0, 15.0)]);
+        use boxagg_common::value::AggValue as _;
+        let f = Poly::monomial(1.0, &[1, 0]).sub(&Poly::constant(2.0));
+        t.insert(obj, f.integral_over(obj.low(), obj.high()), f)
+            .unwrap();
+        // Query [15,23]×[7,11]: contribution (11−7)·∫₁₅²⁰(x−2)dx = 310.
+        let q = Rect::from_bounds(&[(15.0, 23.0), (7.0, 11.0)]);
+        assert!((t.functional_sum(&q).unwrap() - 310.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_query_reports_exactly_the_intersecting_objects() {
+        let mut t = new_tree(512);
+        let mut objs = Vec::new();
+        let mut s = 41u64;
+        for i in 0..600 {
+            let r = rand_rect(&mut s, 0.08);
+            t.insert(r, i as f64, ()).unwrap();
+            objs.push((r, i as f64));
+        }
+        for _ in 0..50 {
+            let q = rand_rect(&mut s, 0.3);
+            let mut got: Vec<f64> = t
+                .range_query(&q)
+                .unwrap()
+                .into_iter()
+                .map(|e| e.agg)
+                .collect();
+            let mut want: Vec<f64> = objs
+                .iter()
+                .filter(|(r, _)| r.intersects(&q))
+                .map(|(_, v)| *v)
+                .collect();
+            got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn corrupt_pages_error_instead_of_panicking() {
+        let store = SharedStore::open(&StoreConfig::small(512, 32)).unwrap();
+        let mut t: RStarTree<()> = RStarTree::create(store.clone(), 2, 0).unwrap();
+        let mut s = 42u64;
+        for _ in 0..300 {
+            t.insert(rand_rect(&mut s, 0.05), 1.0, ()).unwrap();
+        }
+        store.write_page(t.root_page(), &[0xEE; 32]).unwrap();
+        t.use_path_buffer = false;
+        let q = Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]);
+        assert!(t.box_sum(&q).is_err());
+        assert!(t.insert(rand_rect(&mut s, 0.05), 1.0, ()).is_err());
+    }
+
+    #[test]
+    fn path_buffer_saves_page_accesses_on_repeated_queries() {
+        let store = SharedStore::open(&StoreConfig::small(512, 10_000)).unwrap();
+        let mut t: RStarTree<()> = RStarTree::create(store.clone(), 2, 0).unwrap();
+        let mut s = 55u64;
+        for _ in 0..1500 {
+            t.insert(rand_rect(&mut s, 0.01), 1.0, ()).unwrap();
+        }
+        let q = Rect::from_bounds(&[(0.5, 0.500001), (0.5, 0.500001)]);
+        let first = t.box_sum(&q).unwrap();
+        store.reset_stats();
+        let second = t.box_sum(&q).unwrap();
+        assert_eq!(first, second);
+        // The repeated point-like query touches (mostly) the same path,
+        // which the path buffer now serves without page accesses.
+        assert_eq!(store.stats().hits + store.stats().reads, 0);
+    }
+}

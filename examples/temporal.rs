@@ -1,0 +1,77 @@
+//! Cumulative temporal aggregation as 1-dimensional box aggregation.
+//!
+//! §7 of the paper notes that a time interval is a 1-dimensional box, so
+//! the *cumulative temporal aggregate* — "the total value of records
+//! whose validity interval intersects [t₁, t₂]" — is a 1-d box-sum. The
+//! corner reduction needs only `2¹ = 2` dominance indexes, and the 1-d
+//! BA-tree degenerates to an aggregate B-tree (the role the JSB-tree of
+//! [37] plays in the related work).
+//!
+//! This example maintains session records of a service (start, end,
+//! bytes transferred) and answers both *cumulative* interval queries and
+//! *instantaneous* ones (a degenerate query interval).
+//!
+//! Run with `cargo run --release --example temporal`.
+
+use boxagg::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One day of sessions, seconds 0..86400.
+    let space = Rect::from_bounds(&[(0.0, 86_400.0)]);
+    let mut bytes = SimpleBoxSum::batree(space, StoreConfig::default())?;
+    let mut sessions = SimpleBoxSum::batree(space, StoreConfig::default())?;
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut log: Vec<(f64, f64, f64)> = Vec::new();
+    for _ in 0..50_000 {
+        let start = rng.gen::<f64>() * 86_000.0;
+        let dur = 10.0 + rng.gen::<f64>() * 360.0;
+        let end = (start + dur).min(86_400.0);
+        let transferred = (rng.gen::<f64>() * 1e6).round();
+        let iv = Rect::from_bounds(&[(start, end)]);
+        bytes.insert(&iv, transferred)?;
+        sessions.insert(&iv, 1.0)?;
+        log.push((start, end, transferred));
+    }
+    println!("indexed {} sessions", log.len());
+
+    // Cumulative: sessions overlapping the 12:00–13:00 window.
+    let window = Rect::from_bounds(&[(43_200.0, 46_800.0)]);
+    let b = bytes.query(&window)?;
+    let n = sessions.query(&window)?;
+    let check: f64 = log
+        .iter()
+        .filter(|(s, e, _)| *s <= 46_800.0 && *e >= 43_200.0)
+        .map(|(_, _, v)| v)
+        .sum();
+    println!("12:00-13:00  sessions {n:>7}  bytes {b:>14.0}  (scan: {check:.0})");
+    assert!((b - check).abs() < 1e-6 * check);
+
+    // Instantaneous: active sessions at exactly 18:00 (degenerate box).
+    let instant = Rect::degenerate(Point::new(&[64_800.0]));
+    let active = sessions.query(&instant)?;
+    let check = log
+        .iter()
+        .filter(|(s, e, _)| *s <= 64_800.0 && *e >= 64_800.0)
+        .count();
+    println!("18:00:00     active sessions {active} (scan: {check})");
+    assert_eq!(active as usize, check);
+
+    // Late-arriving data and retractions are just inserts/deletes.
+    let iv = Rect::from_bounds(&[(64_000.0, 66_000.0)]);
+    sessions.insert(&iv, 1.0)?;
+    bytes.insert(&iv, 123_456.0)?;
+    println!(
+        "after late session: active at 18:00 = {}",
+        sessions.query(&instant)?
+    );
+    sessions.delete(&iv, 1.0)?;
+    bytes.delete(&iv, 123_456.0)?;
+    println!(
+        "after retraction:   active at 18:00 = {}",
+        sessions.query(&instant)?
+    );
+    Ok(())
+}

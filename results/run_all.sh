@@ -1,0 +1,16 @@
+#!/bin/bash
+# Regenerates every table/figure; outputs recorded under results/.
+# Figure binaries embed laptop-scaled defaults (see DESIGN.md §5 and
+# EXPERIMENTS.md); pass --n/--queries/--buffer-mb to override.
+set -x
+cd "$(dirname "$0")/.."
+cargo build --release -p boxagg-bench
+./target/release/thm12                 > results/thm12.txt   2>&1
+./target/release/fig9a --n 100000      > results/fig9a.txt   2>&1
+./target/release/table1 --queries 300  > results/table1.txt  2>&1
+./target/release/ablation --n 30000    > results/ablation.txt 2>&1
+./target/release/fig9c                 > results/fig9c.txt   2>&1
+./target/release/dim3                  > results/dim3.txt    2>&1
+./target/release/fig9b                 > results/fig9b.txt   2>&1
+./target/release/r200                  > results/r200.txt    2>&1
+echo ALL_DONE

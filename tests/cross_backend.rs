@@ -1,0 +1,185 @@
+//! Cross-crate integration: every simple box-sum scheme — corner
+//! reduction over BA-trees / ECDF-Bu / ECDF-Bq, the EO reduction over
+//! BA-trees, and the aR-tree — must agree with brute force and with each
+//! other on identical workloads.
+
+use boxagg::common::{Point, Rect};
+use boxagg::core::engine::SimpleBoxSum;
+use boxagg::core::reduction::EoBoxSum;
+use boxagg::ecdf::BorderPolicy;
+use boxagg::pagestore::{SharedStore, StoreConfig};
+use boxagg::rstar::RStarTree;
+use boxagg::workload::{gen_objects, gen_queries, DatasetConfig, Placement};
+
+fn brute(objs: &[(Rect, f64)], q: &Rect) -> f64 {
+    objs.iter()
+        .filter(|(r, _)| r.intersects(q))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+fn check_all(objects: &[(Rect, f64)], queries: &[Rect], space: Rect, ctx: &str) {
+    let cfg = StoreConfig::small(2048, 128);
+    let mut bat = SimpleBoxSum::batree(space, cfg.clone()).unwrap();
+    let mut eu = SimpleBoxSum::ecdf(2, BorderPolicy::UpdateOptimized, cfg.clone()).unwrap();
+    let mut eq = SimpleBoxSum::ecdf(2, BorderPolicy::QueryOptimized, cfg.clone()).unwrap();
+    let mut eo = EoBoxSum::batree(space, cfg.clone()).unwrap();
+    let store = SharedStore::open(&cfg).unwrap();
+    let mut ar: RStarTree<()> = RStarTree::create(store, 2, 0).unwrap();
+
+    for (r, v) in objects {
+        bat.insert(r, *v).unwrap();
+        eu.insert(r, *v).unwrap();
+        eq.insert(r, *v).unwrap();
+        eo.insert(r, *v).unwrap();
+        ar.insert(*r, *v, ()).unwrap();
+    }
+
+    for q in queries {
+        let want = brute(objects, q);
+        let tol = 1e-6 * want.abs().max(1.0);
+        let results = [
+            ("BAT", bat.query(q).unwrap()),
+            ("ECDFu", eu.query(q).unwrap()),
+            ("ECDFq", eq.query(q).unwrap()),
+            ("EO/BAT", eo.query(q).unwrap()),
+            ("aR", ar.box_sum(q).unwrap().sum),
+            ("R*scan", ar.box_sum_scan(q).unwrap().sum),
+        ];
+        for (name, got) in results {
+            assert!(
+                (got - want).abs() < tol,
+                "[{ctx}] {name} disagrees at {q:?}: got {got}, want {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn uniform_2d_workload() {
+    let cfg = DatasetConfig {
+        mean_side: 0.05,
+        ..DatasetConfig::paper(400, 1)
+    };
+    let objects = gen_objects(&cfg);
+    let queries = gen_queries(2, 40, 0.02, 2);
+    check_all(&objects, &queries, cfg.space(), "uniform");
+}
+
+#[test]
+fn clustered_2d_workload() {
+    let cfg = DatasetConfig {
+        n: 400,
+        dim: 2,
+        mean_side: 0.02,
+        placement: Placement::Clustered { clusters: 4 },
+        seed: 3,
+    };
+    let objects = gen_objects(&cfg);
+    let mut queries = gen_queries(2, 30, 0.01, 4);
+    queries.extend(gen_queries(2, 10, 0.2, 5));
+    check_all(&objects, &queries, cfg.space(), "clustered");
+}
+
+#[test]
+fn large_objects_heavy_overlap() {
+    // Big boxes: nearly every object intersects every query.
+    let cfg = DatasetConfig {
+        mean_side: 0.4,
+        ..DatasetConfig::paper(200, 6)
+    };
+    let objects = gen_objects(&cfg);
+    let queries = gen_queries(2, 25, 0.1, 7);
+    check_all(&objects, &queries, cfg.space(), "large-objects");
+}
+
+#[test]
+fn three_dimensional_corner_engine() {
+    // 3-d: 8 corner indexes; BA-tree borders recurse 3-d → 2-d → 1-d.
+    let space = Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]);
+    let mut bat = SimpleBoxSum::batree(space, StoreConfig::small(2048, 128)).unwrap();
+    let mut objects = Vec::new();
+    let mut state = 11u64;
+    let mut rnd = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64) / ((1u64 << 53) as f64)
+    };
+    for i in 0..250 {
+        let low = Point::new(&[rnd() * 0.8, rnd() * 0.8, rnd() * 0.8]);
+        let high = Point::new(&[
+            low.get(0) + rnd() * 0.2,
+            low.get(1) + rnd() * 0.2,
+            low.get(2) + rnd() * 0.2,
+        ]);
+        let r = Rect::new(low, high);
+        let v = (i % 5) as f64 + 0.5;
+        bat.insert(&r, v).unwrap();
+        objects.push((r, v));
+    }
+    for q in gen_queries(3, 40, 0.05, 12) {
+        let want = brute(&objects, &q);
+        let got = bat.query(&q).unwrap();
+        assert!(
+            (got - want).abs() < 1e-6 * want.abs().max(1.0),
+            "3-d: {got} vs {want}"
+        );
+    }
+}
+
+#[test]
+fn count_and_avg_through_unit_values() {
+    let cfg = DatasetConfig {
+        mean_side: 0.1,
+        ..DatasetConfig::paper(300, 21)
+    };
+    let objects = gen_objects(&cfg);
+    let space = cfg.space();
+    let scfg = StoreConfig::small(2048, 128);
+    let mut sum = SimpleBoxSum::batree(space, scfg.clone()).unwrap();
+    let mut count = SimpleBoxSum::batree(space, scfg).unwrap();
+    for (r, v) in &objects {
+        sum.insert(r, *v).unwrap();
+        count.insert(r, 1.0).unwrap();
+    }
+    for q in gen_queries(2, 30, 0.05, 22) {
+        let want_n = objects.iter().filter(|(r, _)| r.intersects(&q)).count() as f64;
+        let want_sum = brute(&objects, &q);
+        let n = count.query(&q).unwrap();
+        let s = sum.query(&q).unwrap();
+        assert!((n - want_n).abs() < 1e-6);
+        assert!((s - want_sum).abs() < 1e-6 * want_sum.abs().max(1.0));
+        if want_n > 0.0 {
+            let avg = s / n;
+            let want_avg = want_sum / want_n;
+            assert!((avg - want_avg).abs() < 1e-6 * want_avg.abs().max(1.0));
+        }
+    }
+}
+
+#[test]
+fn interleaved_inserts_and_queries() {
+    // Queries between inserts: indexes must be consistent at every
+    // prefix of the insert stream.
+    let cfg = DatasetConfig {
+        mean_side: 0.08,
+        ..DatasetConfig::paper(300, 31)
+    };
+    let objects = gen_objects(&cfg);
+    let queries = gen_queries(2, 300, 0.05, 32);
+    let scfg = StoreConfig::small(2048, 128);
+    let mut bat = SimpleBoxSum::batree(cfg.space(), scfg.clone()).unwrap();
+    let mut eq = SimpleBoxSum::ecdf(2, BorderPolicy::QueryOptimized, scfg).unwrap();
+    for (i, (r, v)) in objects.iter().enumerate() {
+        bat.insert(r, *v).unwrap();
+        eq.insert(r, *v).unwrap();
+        let q = &queries[i];
+        let want = brute(&objects[..=i], q);
+        let a = bat.query(q).unwrap();
+        let b = eq.query(q).unwrap();
+        let tol = 1e-6 * want.abs().max(1.0);
+        assert!((a - want).abs() < tol, "BAT at prefix {i}: {a} vs {want}");
+        assert!((b - want).abs() < tol, "ECDFq at prefix {i}: {b} vs {want}");
+    }
+}

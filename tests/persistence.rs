@@ -1,0 +1,114 @@
+//! Integration: file-backed persistence across process-like reopen
+//! boundaries (fresh buffer pools over the same page file).
+
+use boxagg::batree::BATree;
+use boxagg::common::traits::DominanceSumIndex;
+use boxagg::common::{Point, Rect};
+use boxagg::ecdf::{BorderPolicy, EcdfBTree};
+use boxagg::pagestore::{Backing, FilePager, SharedStore, StoreConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn tmpfile(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("boxagg_persistence_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn batree_survives_reopen() {
+    let path = tmpfile("batree.pages");
+    let space = Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]);
+    let mut rng = StdRng::seed_from_u64(41);
+    let points: Vec<(Point, f64)> = (0..3000)
+        .map(|_| (Point::new(&[rng.gen(), rng.gen()]), rng.gen::<f64>() * 5.0))
+        .collect();
+    let queries: Vec<Point> = (0..50)
+        .map(|_| Point::new(&[rng.gen(), rng.gen()]))
+        .collect();
+
+    let cfg = StoreConfig {
+        page_size: 1024,
+        buffer_pages: 16,
+        backing: Backing::File(path.clone()),
+    };
+    let (root, len, expected): (_, _, Vec<f64>) = {
+        let store = SharedStore::open(&cfg).unwrap();
+        let mut tree: BATree<f64> = BATree::create(store.clone(), space, 8).unwrap();
+        for (p, v) in &points {
+            tree.insert(*p, *v).unwrap();
+        }
+        let expected = queries
+            .iter()
+            .map(|q| tree.dominance_sum(q).unwrap())
+            .collect();
+        store.flush().unwrap();
+        (tree.root_page(), tree.len(), expected)
+    };
+
+    // Reopen with a cold, tiny buffer and verify every answer.
+    let pager = FilePager::open(&path, 1024).unwrap();
+    let store = SharedStore::from_pager(Box::new(pager), 16);
+    let mut tree: BATree<f64> = BATree::open_at(store.clone(), space, 8, root, len).unwrap();
+    for (q, want) in queries.iter().zip(&expected) {
+        assert_eq!(tree.dominance_sum(q).unwrap(), *want);
+    }
+    assert_eq!(tree.len(), 3000);
+
+    // Continue inserting after reopen, then spot check.
+    tree.insert(Point::new(&[0.5, 0.5]), 1000.0).unwrap();
+    let got = tree.dominance_sum(&Point::new(&[1.0, 1.0])).unwrap();
+    let total: f64 = points.iter().map(|(_, v)| v).sum::<f64>() + 1000.0;
+    assert!((got - total).abs() < 1e-6);
+    store.flush().unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn ecdf_btree_survives_reopen() {
+    let path = tmpfile("ecdf.pages");
+    let mut rng = StdRng::seed_from_u64(43);
+    let points: Vec<(Point, f64)> = (0..2000)
+        .map(|_| (Point::new(&[rng.gen(), rng.gen()]), 1.0))
+        .collect();
+    let cfg = StoreConfig {
+        page_size: 1024,
+        buffer_pages: 8,
+        backing: Backing::File(path.clone()),
+    };
+    let (root, len) = {
+        let store = SharedStore::open(&cfg).unwrap();
+        let mut tree: EcdfBTree<f64> = EcdfBTree::bulk_load(
+            store.clone(),
+            2,
+            BorderPolicy::QueryOptimized,
+            8,
+            points.clone(),
+        )
+        .unwrap();
+        assert_eq!(
+            tree.dominance_sum(&Point::new(&[1.0, 1.0])).unwrap(),
+            2000.0
+        );
+        store.flush().unwrap();
+        (tree.root_page(), tree.len())
+    };
+
+    let pager = FilePager::open(&path, 1024).unwrap();
+    let store = SharedStore::from_pager(Box::new(pager), 8);
+    // EcdfBTree has no open_at; verify at the page level that the bytes
+    // round-tripped by re-wrapping through a fresh tree handle is not
+    // provided — instead check that the root page decodes and the whole
+    // file's live data answers through a rebuilt handle.
+    let mut reopened: EcdfBTree<f64> =
+        EcdfBTree::open_at(store, 2, BorderPolicy::QueryOptimized, 8, root, len).unwrap();
+    assert_eq!(
+        reopened.dominance_sum(&Point::new(&[1.0, 1.0])).unwrap(),
+        2000.0
+    );
+    assert_eq!(
+        reopened.dominance_sum(&Point::new(&[-0.1, 0.5])).unwrap(),
+        0.0
+    );
+    std::fs::remove_file(&path).ok();
+}
