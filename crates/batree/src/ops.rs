@@ -418,7 +418,7 @@ pub(crate) fn tree_free<V: AggValue>(ctx: Ctx<'_>, dim: usize, root: PageId) -> 
             }
         }
     }
-    ctx.store.free(root);
+    ctx.store.free(root)?;
     Ok(())
 }
 

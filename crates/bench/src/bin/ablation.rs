@@ -88,6 +88,7 @@ fn main() {
             page_size,
             buffer_pages: (args.buffer_mb * 1024 * 1024 / page_size).max(1),
             backing: Default::default(),
+            parallelism: 1,
         };
         let store = SharedStore::open(&cfg).unwrap();
         let mut engine = SimpleBoxSum::batree_in(args.space(), store.clone()).unwrap();

@@ -12,12 +12,11 @@
 
 use boxagg_bench::{fmt_u64, print_table, Args, QBS_SWEEP};
 use boxagg_common::geom::{Point, Rect};
+use boxagg_common::rng::StdRng;
 use boxagg_core::engine::SimpleBoxSum;
 use boxagg_pagestore::SharedStore;
 use boxagg_rstar::RStarTree;
 use boxagg_workload::gen_queries;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let args = Args::parse_with(100_000, 2);

@@ -91,12 +91,9 @@ fn main() {
         }
         let plain_ios = ar.store.stats().total();
         drop(ar);
-        let mut bat = SimpleBoxSum::batree_bulk(
-            sweep_args.space(),
-            sweep_args.store_config(),
-            &objects,
-        )
-        .expect("bulk");
+        let mut bat =
+            SimpleBoxSum::batree_bulk(sweep_args.space(), sweep_args.store_config(), &objects)
+                .expect("bulk");
         let store = bat.indexes()[0].store().clone();
         store.reset_stats();
         for q in &sweep_queries {

@@ -15,9 +15,8 @@ use boxagg_ecdf::{BorderPolicy, EcdfBTree};
 use boxagg_pagestore::SharedStore;
 
 use boxagg_bench::{fmt_u64, print_table, Args};
+use boxagg_common::rng::StdRng;
 use boxagg_workload::gen_points;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let args = Args::parse_with(0, 1);

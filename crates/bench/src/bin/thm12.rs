@@ -10,10 +10,9 @@
 
 use boxagg_bench::{fmt_u64, print_table, Args};
 use boxagg_common::geom::{Point, Rect};
+use boxagg_common::rng::StdRng;
 use boxagg_common::traits::NaiveDominanceIndex;
 use boxagg_core::reduction::{corner_query_count, eo_query_count, CornerBoxSum, EoBoxSum};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn rand_rect(rng: &mut StdRng, dim: usize, side: f64) -> Rect {
     let low = Point::from_fn(dim, |_| rng.gen::<f64>() * (1.0 - side));

@@ -38,6 +38,9 @@ pub struct Args {
     pub page_size: usize,
     /// LRU buffer size in MiB (paper: 10).
     pub buffer_mb: usize,
+    /// Worker threads for the corner fan-out (default 1: the paper's
+    /// sequential setting, with exact sequential I/O accounting).
+    pub threads: usize,
 }
 
 impl Args {
@@ -57,6 +60,7 @@ impl Args {
             seed: 20020601,
             page_size: 8192,
             buffer_mb: default_buffer_mb,
+            threads: 1,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -72,6 +76,7 @@ impl Args {
                 "--buffer-mb" => {
                     args.buffer_mb = val.parse().expect("--buffer-mb takes an integer")
                 }
+                "--threads" => args.threads = val.parse().expect("--threads takes an integer"),
                 other => panic!("unknown flag {other}"),
             }
             i += 2;
@@ -85,6 +90,7 @@ impl Args {
             page_size: self.page_size,
             buffer_pages: (self.buffer_mb * 1024 * 1024 / self.page_size).max(1),
             backing: Default::default(),
+            parallelism: self.threads.max(1),
         }
     }
 
@@ -272,6 +278,7 @@ mod tests {
             seed: 9,
             page_size: 1024,
             buffer_mb: 1,
+            threads: 1,
         };
         let objects = args.dataset();
         let mut bat = build_bat(&args, &objects);

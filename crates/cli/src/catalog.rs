@@ -152,6 +152,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use boxagg_common::tempdir as tempfile;
 
     fn sample() -> Catalog {
         Catalog {

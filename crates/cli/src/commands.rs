@@ -98,6 +98,7 @@ pub fn build(pages: &Path, csv: &Path, space_spec: &str, page_size: usize) -> Re
         page_size,
         buffer_pages: (64 * 1024 * 1024 / page_size).max(1),
         backing: Backing::File(pages.to_path_buf()),
+        parallelism: 1,
     };
     let store = SharedStore::open(&config)?;
     let mut engine = SimpleBoxSum::batree_in(space, store.clone())?;
@@ -191,6 +192,7 @@ pub fn info(pages: &Path) -> Result<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use boxagg_common::tempdir as tempfile;
 
     fn write_csv(dir: &Path, rows: &[&str]) -> std::path::PathBuf {
         let p = dir.join("objects.csv");

@@ -16,12 +16,17 @@
 //!   layout,
 //! * [`traits`] — the [`traits::DominanceSumIndex`]
 //!   interface implemented by the ECDF-B-trees and the BA-tree,
-//! * [`error`] — the common error type.
+//! * [`error`] — the common error type,
+//! * [`rng`] — a deterministic seedable RNG for workloads and tests
+//!   (the workspace builds offline, without the `rand` crate),
+//! * [`tempdir`] — self-deleting temp directories for tests.
 
 pub mod bytes;
 pub mod error;
 pub mod geom;
 pub mod poly;
+pub mod rng;
+pub mod tempdir;
 pub mod traits;
 pub mod value;
 

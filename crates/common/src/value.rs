@@ -12,7 +12,11 @@ use crate::error::Result;
 
 /// An aggregatable value: an element of an abelian group with a serialized
 /// form of bounded size.
-pub trait AggValue: Clone + std::fmt::Debug + PartialEq + 'static {
+///
+/// `Send + Sync` are required so that indexes over any `AggValue` can be
+/// queried and bulk-loaded from the parallel corner fan-out (the `2^d`
+/// dominance-sum queries of the corner reduction are independent).
+pub trait AggValue: Clone + std::fmt::Debug + PartialEq + Send + Sync + 'static {
     /// The group identity.
     fn zero() -> Self;
 

@@ -17,6 +17,7 @@ pub use crate::functional::FunctionalBoxSum;
 pub use crate::reduction::{CornerBoxSum, EoBoxSum};
 
 use crate::functional::{corner_tuples, tuple_value_size, FunctionalObject};
+use crate::parallel::fan_out;
 use crate::reduction::eo_index_space;
 
 /// A simple box-sum engine: the corner reduction over any backend.
@@ -36,20 +37,27 @@ impl SimpleBoxSum<BATree<f64>> {
         Self::batree_in(space, store)
     }
 
-    /// Same, over an existing store.
+    /// Same, over an existing store. Inherits the store's
+    /// `parallelism` for the corner query fan-out.
     pub fn batree_in(space: Rect, store: SharedStore) -> Result<Self> {
-        CornerBoxSum::new(space.dim(), |_| {
+        let mut engine = CornerBoxSum::new(space.dim(), |_| {
             BATree::create(store.clone(), space, F64_SIZE)
-        })
+        })?;
+        engine.set_parallelism(store.parallelism());
+        Ok(engine)
     }
 
-    /// Bulk-loads the `2^d` corner BA-trees from a dataset.
+    /// Bulk-loads the `2^d` corner BA-trees from a dataset. With
+    /// `config.parallelism > 1` the per-corner loads (independent
+    /// trees over the shared store) run on that many worker threads.
     pub fn batree_bulk(space: Rect, config: StoreConfig, objects: &[(Rect, f64)]) -> Result<Self> {
         let store = SharedStore::open(&config)?;
-        let mut engine = CornerBoxSum::new(space.dim(), |mask| {
+        let trees = fan_out(1 << space.dim(), store.parallelism(), |mask| {
             let pts = objects.iter().map(|(r, v)| (r.corner(mask), *v)).collect();
             BATree::bulk_load(store.clone(), space, F64_SIZE, pts)
         })?;
+        let mut engine = CornerBoxSum::from_indexes(space.dim(), trees)?;
+        engine.set_parallelism(store.parallelism());
         engine.note_bulk_loaded(objects.len());
         Ok(engine)
     }
@@ -63,15 +71,19 @@ impl SimpleBoxSum<EcdfBTree<f64>> {
         Self::ecdf_in(dim, policy, store)
     }
 
-    /// Same, over an existing store.
+    /// Same, over an existing store. Inherits the store's
+    /// `parallelism` for the corner query fan-out.
     pub fn ecdf_in(dim: usize, policy: BorderPolicy, store: SharedStore) -> Result<Self> {
-        CornerBoxSum::new(dim, |_| {
+        let mut engine = CornerBoxSum::new(dim, |_| {
             EcdfBTree::create(store.clone(), dim, policy, F64_SIZE)
-        })
+        })?;
+        engine.set_parallelism(store.parallelism());
+        Ok(engine)
     }
 
     /// Bulk-loads the `2^d` corner indexes from a dataset (§4) — how the
-    /// large §6 configurations are built.
+    /// large §6 configurations are built. With `config.parallelism > 1`
+    /// the per-corner loads run on that many worker threads.
     pub fn ecdf_bulk(
         dim: usize,
         policy: BorderPolicy,
@@ -79,10 +91,12 @@ impl SimpleBoxSum<EcdfBTree<f64>> {
         objects: &[(Rect, f64)],
     ) -> Result<Self> {
         let store = SharedStore::open(&config)?;
-        let mut engine = CornerBoxSum::new(dim, |mask| {
+        let trees = fan_out(1 << dim, store.parallelism(), |mask| {
             let pts = objects.iter().map(|(r, v)| (r.corner(mask), *v)).collect();
             EcdfBTree::bulk_load(store.clone(), dim, policy, F64_SIZE, pts)
         })?;
+        let mut engine = CornerBoxSum::from_indexes(dim, trees)?;
+        engine.set_parallelism(store.parallelism());
         engine.note_bulk_loaded(objects.len());
         Ok(engine)
     }
@@ -311,6 +325,33 @@ mod tests {
         let want = keep.contribution(&q);
         let got = e.query(&q).unwrap();
         assert!((got - want).abs() < 1e-9 * want.abs().max(1.0));
+    }
+
+    #[test]
+    fn parallel_bulk_and_query_match_sequential() {
+        // Same dataset, sequential store vs a 4-thread store: bulk-built
+        // trees must answer identically, corner queries fan out across
+        // threads and still combine in mask order.
+        let objs = dataset(500, 91);
+        let mut seq =
+            SimpleBoxSum::batree_bulk(unit_space(), StoreConfig::small(1024, 256), &objs).unwrap();
+        let mut par = SimpleBoxSum::batree_bulk(
+            unit_space(),
+            StoreConfig::small(1024, 256).with_parallelism(4),
+            &objs,
+        )
+        .unwrap();
+        assert_eq!(par.parallelism(), 4);
+        assert_eq!(par.len(), 500);
+        let mut s = 92u64;
+        for _ in 0..40 {
+            let q = rand_rect(&mut s, 0.4);
+            let a = seq.query(&q).unwrap();
+            let b = par.query(&q).unwrap();
+            let want = brute(&objs, &q);
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+            assert!((a - want).abs() < 1e-6 * want.abs().max(1.0));
+        }
     }
 
     #[test]

@@ -16,9 +16,13 @@
 //! * [`engine`] — ready-made engines wiring the reductions to the
 //!   concrete disk-based backends, sharing one page store per engine so
 //!   the paper's size and I/O metrics apply to whole structures.
+//! * [`parallel`] — scoped-thread fan-out over the `2^d` independent
+//!   corner tasks (queries and bulk-loads), enabled by
+//!   `StoreConfig::parallelism`.
 
 pub mod engine;
 pub mod functional;
+pub mod parallel;
 pub mod reduction;
 
 pub use engine::SimpleBoxSum;

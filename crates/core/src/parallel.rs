@@ -1,0 +1,117 @@
+//! Scoped-thread fan-out for the `2^d` independent corner tasks.
+//!
+//! The corner reduction (§2) decomposes a box-sum into `2^d` dominance
+//! sums against `2^d` *independent* indexes, and bulk-loading builds
+//! those `2^d` indexes from disjoint corner point sets. Both are
+//! embarrassingly parallel; this module provides the one fan-out
+//! primitive they share, built on [`std::thread::scope`] (the workspace
+//! builds offline, without a thread-pool crate).
+
+use boxagg_common::error::Result;
+
+/// Runs `f(0), …, f(tasks - 1)` on up to `threads` scoped worker
+/// threads and returns the results in task order. With `threads <= 1`
+/// (or a single task) everything runs sequentially on the caller's
+/// thread — no spawn, deterministic sequential execution.
+///
+/// Tasks are assigned round-robin (worker `w` runs tasks `w`,
+/// `w + workers`, …). If any task fails, the error that is earliest in
+/// task order is returned — same as the sequential path would report.
+pub fn fan_out<T, F>(tasks: usize, threads: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    if threads <= 1 || tasks <= 1 {
+        return (0..tasks).map(f).collect();
+    }
+    let workers = threads.min(tasks);
+    let f = &f;
+    let per_worker: Vec<Vec<(usize, Result<T>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    (w..tasks)
+                        .step_by(workers)
+                        .map(|i| (i, f(i)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fan-out worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<Result<T>>> = (0..tasks).map(|_| None).collect();
+    for (i, r) in per_worker.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task was assigned to a worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boxagg_common::error::invalid_arg;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for threads in [1, 2, 3, 8, 64] {
+            let out = fan_out(13, threads, |i| Ok(i * i)).unwrap();
+            assert_eq!(out, (0..13).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_and_single_task_edge_cases() {
+        assert_eq!(fan_out(0, 4, Ok).unwrap(), Vec::<usize>::new());
+        assert_eq!(fan_out(1, 4, |i| Ok(i + 7)).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn first_error_in_task_order_wins() {
+        for threads in [1, 4] {
+            let err = fan_out(8, threads, |i| {
+                if i >= 3 {
+                    Err(invalid_arg(format!("task {i}")))
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+            assert!(err.to_string().contains("task 3"), "got: {err}");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counts: Vec<AtomicUsize> = (0..20).map(|_| AtomicUsize::new(0)).collect();
+        fan_out(20, 4, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        })
+        .unwrap();
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_workers_actually_overlap() {
+        // With as many threads as tasks, every task can wait for all
+        // others to have started — this deadlocks if execution were
+        // secretly sequential.
+        let started = AtomicUsize::new(0);
+        fan_out(4, 4, |_| {
+            started.fetch_add(1, Ordering::SeqCst);
+            while started.load(Ordering::SeqCst) < 4 {
+                std::thread::yield_now();
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+}

@@ -50,29 +50,58 @@ pub struct CornerBoxSum<I> {
     indexes: Vec<I>,
     len: usize,
     queries_issued: u64,
+    parallelism: usize,
 }
 
 impl<I: DominanceSumIndex<f64>> CornerBoxSum<I> {
     /// Builds the engine; `make(mask)` creates the dominance index for
     /// corner selector `mask` (bit `i` set ⇒ the index stores `o.h_i`).
     pub fn new(dim: usize, mut make: impl FnMut(usize) -> Result<I>) -> Result<Self> {
+        let mut indexes = Vec::with_capacity(1 << dim.min(MAX_DIM));
+        if dim > 0 && dim <= MAX_DIM {
+            for mask in 0..(1usize << dim) {
+                indexes.push(make(mask)?);
+            }
+        }
+        Self::from_indexes(dim, indexes)
+    }
+
+    /// Builds the engine from `2^dim` already-constructed corner indexes
+    /// in mask order (e.g. bulk-loaded in parallel).
+    pub fn from_indexes(dim: usize, indexes: Vec<I>) -> Result<Self> {
         if dim == 0 || dim > MAX_DIM {
             return Err(invalid_arg(format!("dimension {dim} out of range")));
         }
-        let mut indexes = Vec::with_capacity(1 << dim);
-        for mask in 0..(1usize << dim) {
-            let idx = make(mask)?;
-            if idx.dim() != dim {
-                return Err(invalid_arg("corner index dimensionality mismatch"));
-            }
-            indexes.push(idx);
+        if indexes.len() != 1 << dim {
+            return Err(invalid_arg(format!(
+                "corner reduction over dimension {dim} needs {} indexes, got {}",
+                1usize << dim,
+                indexes.len()
+            )));
+        }
+        if indexes.iter().any(|idx| idx.dim() != dim) {
+            return Err(invalid_arg("corner index dimensionality mismatch"));
         }
         Ok(Self {
             dim,
             indexes,
             len: 0,
             queries_issued: 0,
+            parallelism: 1,
         })
+    }
+
+    /// Sets the number of worker threads [`query`](Self::query) fans the
+    /// `2^d` corner queries out to. `1` (the default) evaluates corners
+    /// sequentially in mask order — the paper-faithful mode with exact
+    /// sequential I/O accounting.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.parallelism = threads.max(1);
+    }
+
+    /// Worker threads used by [`query`](Self::query).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// Dimensionality.
@@ -132,24 +161,75 @@ impl<I: DominanceSumIndex<f64>> CornerBoxSum<I> {
         Ok(())
     }
 
+    /// The dominance query point for corner selector `mask`: `q.h_i`
+    /// (closed) where bit `i` is clear; just below `q.l_i` (strict)
+    /// where it is set.
+    fn corner_query_point(q: &Rect, dim: usize, mask: usize) -> Point {
+        Point::from_fn(dim, |i| {
+            if mask & (1 << i) != 0 {
+                q.low().get(i).next_down()
+            } else {
+                q.high().get(i)
+            }
+        })
+    }
+
     /// Total value of objects intersecting `q` (closed intersection).
-    pub fn query(&mut self, q: &Rect) -> Result<f64> {
+    ///
+    /// With [`parallelism`](Self::parallelism) `> 1` the `2^d` corner
+    /// queries run on scoped worker threads (they hit independent
+    /// indexes); terms are still combined in mask order, so the result
+    /// is bit-identical to the sequential evaluation.
+    pub fn query(&mut self, q: &Rect) -> Result<f64>
+    where
+        I: Send,
+    {
         if q.dim() != self.dim {
             return Err(invalid_arg("query dimensionality mismatch"));
         }
+        let n = 1usize << self.dim;
+        let terms: Vec<f64> = if self.parallelism > 1 {
+            let points: Vec<Point> = (0..n)
+                .map(|mask| Self::corner_query_point(q, self.dim, mask))
+                .collect();
+            let workers = self.parallelism.min(n);
+            let chunk = n.div_ceil(workers);
+            let mut terms = vec![0.0f64; n];
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .indexes
+                    .chunks_mut(chunk)
+                    .zip(terms.chunks_mut(chunk))
+                    .zip(points.chunks(chunk))
+                    .map(|((idxs, outs), pts)| {
+                        scope.spawn(move || -> Result<()> {
+                            for ((idx, out), y) in idxs.iter_mut().zip(outs).zip(pts) {
+                                *out = idx.dominance_sum(y)?;
+                            }
+                            Ok(())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("corner query worker panicked"))
+                    .collect::<Result<Vec<()>>>()
+            })?;
+            self.queries_issued += n as u64;
+            terms
+        } else {
+            // Sequential mask-ascending evaluation: the paper's access
+            // pattern, preserved exactly for I/O accounting.
+            let mut terms = Vec::with_capacity(n);
+            for mask in 0..n {
+                let y = Self::corner_query_point(q, self.dim, mask);
+                terms.push(self.indexes[mask].dominance_sum(&y)?);
+                self.queries_issued += 1;
+            }
+            terms
+        };
         let mut acc = 0.0;
-        for mask in 0..(1usize << self.dim) {
-            // Query point: q.h_i (closed) where s_i = 0; just below
-            // q.l_i (strict) where s_i = 1.
-            let y = Point::from_fn(self.dim, |i| {
-                if mask & (1 << i) != 0 {
-                    q.low().get(i).next_down()
-                } else {
-                    q.high().get(i)
-                }
-            });
-            let term = self.indexes[mask].dominance_sum(&y)?;
-            self.queries_issued += 1;
+        for (mask, term) in terms.into_iter().enumerate() {
             if (mask.count_ones() & 1) == 0 {
                 acc += term;
             } else {
@@ -455,6 +535,39 @@ mod tests {
         assert_eq!(s1, Rect::from_bounds(&[(-10.0, 0.0), (2.0, 4.0)]));
         let s3 = eo_index_space(&space, 0b11);
         assert_eq!(s3, Rect::from_bounds(&[(-10.0, 0.0), (-4.0, -2.0)]));
+    }
+
+    #[test]
+    fn parallel_query_is_bit_identical_to_sequential() {
+        let mut seq = corner_engine(3);
+        let mut par = corner_engine(3);
+        par.set_parallelism(4);
+        assert_eq!(par.parallelism(), 4);
+        let mut s = 205u64;
+        for i in 0..150 {
+            let r = rand_rect(&mut s, 3, 0.3);
+            let v = (i % 9) as f64 - 3.5;
+            seq.insert(&r, v).unwrap();
+            par.insert(&r, v).unwrap();
+        }
+        for _ in 0..60 {
+            let q = rand_rect(&mut s, 3, 0.5);
+            let a = seq.query(&q).unwrap();
+            let b = par.query(&q).unwrap();
+            // Terms combine in mask order either way: bit-identical.
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+        assert_eq!(seq.queries_issued(), par.queries_issued());
+    }
+
+    #[test]
+    fn from_indexes_validates_shape() {
+        let idxs = vec![NaiveDominanceIndex::new(2); 4];
+        assert!(CornerBoxSum::from_indexes(2, idxs).is_ok());
+        let too_few = vec![NaiveDominanceIndex::<f64>::new(2); 3];
+        assert!(CornerBoxSum::from_indexes(2, too_few).is_err());
+        let wrong_dim = vec![NaiveDominanceIndex::<f64>::new(3); 4];
+        assert!(CornerBoxSum::from_indexes(2, wrong_dim).is_err());
     }
 
     #[test]

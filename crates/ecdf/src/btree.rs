@@ -241,7 +241,7 @@ fn free_tree<V: AggValue>(ctx: Ctx<'_>, level: usize, root: PageId) -> Result<()
             }
         }
     }
-    ctx.store.free(root);
+    ctx.store.free(root)?;
     Ok(())
 }
 
@@ -1077,7 +1077,9 @@ mod tests {
         for policy in POLICIES {
             let mut t = new_tree(2, policy, 512);
             let mut s = 71u64;
-            let pts: Vec<Point> = (0..300).map(|_| Point::from_fn(2, |_| rnd(&mut s))).collect();
+            let pts: Vec<Point> = (0..300)
+                .map(|_| Point::from_fn(2, |_| rnd(&mut s)))
+                .collect();
             for p in &pts {
                 t.insert(*p, 3.5).unwrap();
             }

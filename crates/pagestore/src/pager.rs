@@ -26,8 +26,10 @@ pub const DEFAULT_PAGE_SIZE: usize = 8192;
 /// Backing storage for fixed-size pages.
 ///
 /// Implementations are dumb: no caching, no statistics. That is the
-/// [`BufferPool`](crate::buffer::BufferPool)'s job.
-pub trait Pager {
+/// [`BufferPool`](crate::buffer::BufferPool)'s job. Pagers must be
+/// `Send` so the pool can be shared across the parallel corner fan-out;
+/// the pool serializes access behind a mutex, so `Sync` is not needed.
+pub trait Pager: Send {
     /// Size of every page in bytes.
     fn page_size(&self) -> usize;
 
@@ -205,6 +207,7 @@ impl Pager for FilePager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use boxagg_common::tempdir as tempfile;
 
     fn exercise(pager: &mut dyn Pager) {
         let a = pager.allocate().unwrap();

@@ -1,16 +1,21 @@
-//! [`SharedStore`]: a clonable handle to one buffer pool.
+//! [`SharedStore`]: a clonable, thread-safe handle to one buffer pool.
 //!
 //! A BA-tree owns thousands of *border* trees (one per index record,
 //! recursively); an ECDF-B-tree likewise nests lower-dimensional trees
 //! inside its borders; and a simple box-sum engine maintains `2^d` corner
 //! indexes. All of them must share one pager and one LRU buffer so that
 //! index size and I/O counts are accounted the way the paper measures them
-//! — for the whole structure. `SharedStore` is that shared handle
-//! (single-threaded `Rc<RefCell<…>>`, matching the paper's setting).
+//! — for the whole structure. `SharedStore` is that shared handle: an
+//! `Arc` over a sharded, internally synchronized [`BufferPool`], so the
+//! `2^d` independent corner queries and per-corner bulk-loads can run on
+//! separate threads against one pool.
+//!
+//! With [`StoreConfig::parallelism`] left at its default of 1 the pool has
+//! a single shard and behaves byte-identically to the paper's sequential
+//! single-LRU setting: same eviction order, same I/O counts.
 
-use std::cell::RefCell;
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use boxagg_common::error::Result;
 
@@ -36,6 +41,11 @@ pub struct StoreConfig {
     pub buffer_pages: usize,
     /// Backing storage. Default: memory.
     pub backing: Backing,
+    /// Worker threads for the corner fan-out (queries and bulk-loads).
+    /// Default: 1, the paper-faithful sequential mode — a single-shard
+    /// pool whose I/O counts match a sequential implementation exactly.
+    /// Values above 1 shard the buffer pool for concurrency.
+    pub parallelism: usize,
 }
 
 impl Default for StoreConfig {
@@ -44,6 +54,7 @@ impl Default for StoreConfig {
             page_size: DEFAULT_PAGE_SIZE,
             buffer_pages: 10 * 1024 * 1024 / DEFAULT_PAGE_SIZE,
             backing: Backing::Memory,
+            parallelism: 1,
         }
     }
 }
@@ -56,14 +67,33 @@ impl StoreConfig {
             page_size,
             buffer_pages,
             backing: Backing::Memory,
+            parallelism: 1,
+        }
+    }
+
+    /// Sets the fan-out parallelism (see [`StoreConfig::parallelism`]).
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads.max(1);
+        self
+    }
+
+    /// Shard count for the buffer pool: 1 in sequential mode (exact
+    /// paper accounting), otherwise enough power-of-two shards to keep
+    /// `parallelism` threads from contending.
+    fn shards(&self) -> usize {
+        if self.parallelism <= 1 {
+            1
+        } else {
+            (self.parallelism * 8).next_power_of_two().min(64)
         }
     }
 }
 
-/// Cheaply clonable handle to a shared [`BufferPool`].
+/// Cheaply clonable, thread-safe handle to a shared [`BufferPool`].
 #[derive(Clone, Debug)]
 pub struct SharedStore {
-    pool: Rc<RefCell<BufferPool>>,
+    pool: Arc<BufferPool>,
+    parallelism: usize,
 }
 
 impl SharedStore {
@@ -74,66 +104,82 @@ impl SharedStore {
             Backing::File(path) => Box::new(FilePager::create(path, config.page_size)?),
         };
         Ok(Self {
-            pool: Rc::new(RefCell::new(BufferPool::new(pager, config.buffer_pages))),
+            pool: Arc::new(BufferPool::with_shards(
+                pager,
+                config.buffer_pages,
+                config.shards(),
+            )),
+            parallelism: config.parallelism.max(1),
         })
     }
 
     /// Wraps an explicit pager (e.g. a reopened [`FilePager`]).
     pub fn from_pager(pager: Box<dyn Pager>, buffer_pages: usize) -> Self {
         Self {
-            pool: Rc::new(RefCell::new(BufferPool::new(pager, buffer_pages))),
+            pool: Arc::new(BufferPool::new(pager, buffer_pages)),
+            parallelism: 1,
         }
+    }
+
+    /// Worker threads the corner fan-out should use (≥ 1).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// Page size in bytes.
     pub fn page_size(&self) -> usize {
-        self.pool.borrow().page_size()
+        self.pool.page_size()
     }
 
     /// Allocates a fresh page.
     pub fn allocate(&self) -> Result<PageId> {
-        self.pool.borrow_mut().allocate()
+        self.pool.allocate()
     }
 
     /// Runs `f` over the contents of page `id`.
+    ///
+    /// `f` runs while the page's pool shard is locked: it must not access
+    /// the store again (directly or through a clone of this handle).
     pub fn with_page<T>(&self, id: PageId, f: impl FnOnce(&[u8]) -> T) -> Result<T> {
-        self.pool.borrow_mut().with_page(id, f)
+        self.pool.with_page(id, f)
     }
 
     /// Overwrites page `id` (short payloads zero-padded).
     pub fn write_page(&self, id: PageId, bytes: &[u8]) -> Result<()> {
-        self.pool.borrow_mut().write_page(id, bytes)
+        self.pool.write_page(id, bytes)
     }
 
     /// Flushes all dirty pages.
     pub fn flush(&self) -> Result<()> {
-        self.pool.borrow_mut().flush_all()
+        self.pool.flush_all()
     }
 
     /// Current I/O statistics.
     pub fn stats(&self) -> IoStats {
-        self.pool.borrow().stats()
+        self.pool.stats()
     }
 
     /// Resets the I/O statistics.
     pub fn reset_stats(&self) {
-        self.pool.borrow_mut().reset_stats()
+        self.pool.reset_stats()
     }
 
     /// Pages ever allocated in the pager (high-water mark).
     pub fn allocated_pages(&self) -> u64 {
-        self.pool.borrow().allocated_pages()
+        self.pool.allocated_pages()
     }
 
-    /// Frees a page for reuse. The caller guarantees nothing references it.
-    pub fn free(&self, id: PageId) {
-        self.pool.borrow_mut().free_page(id)
+    /// Frees a page for reuse. The caller guarantees nothing references
+    /// it. Errors on a double free (see
+    /// [`BufferPool::free_page`]).
+    pub fn free(&self, id: PageId) -> Result<()> {
+        self.pool.free_page(id)
     }
 
     /// Live (allocated minus freed) pages — the index size metric of
     /// Fig. 9a (`size = live_pages × page_size`).
     pub fn live_pages(&self) -> u64 {
-        self.pool.borrow().live_pages()
+        self.pool.live_pages()
     }
 
     /// Live index size in bytes.
@@ -145,12 +191,26 @@ impl SharedStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use boxagg_common::tempdir as tempfile;
 
     #[test]
     fn default_config_matches_paper() {
         let c = StoreConfig::default();
         assert_eq!(c.page_size, 8192);
         assert_eq!(c.buffer_pages, 1280); // 10 MB buffer
+        assert_eq!(c.parallelism, 1, "sequential mode is the default");
+        assert_eq!(c.shards(), 1, "sequential mode keeps one global LRU");
+    }
+
+    #[test]
+    fn parallel_config_shards_the_pool() {
+        let c = StoreConfig::default().with_parallelism(4);
+        assert_eq!(c.parallelism, 4);
+        assert_eq!(c.shards(), 32);
+        assert_eq!(StoreConfig::default().with_parallelism(16).shards(), 64);
+        assert_eq!(StoreConfig::default().with_parallelism(0).parallelism, 1);
+        let s = SharedStore::open(&c).unwrap();
+        assert_eq!(s.parallelism(), 4);
     }
 
     #[test]
@@ -168,12 +228,19 @@ mod tests {
     }
 
     #[test]
+    fn handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<SharedStore>();
+    }
+
+    #[test]
     fn file_backed_store_round_trips() {
         let dir = tempfile::tempdir().unwrap();
         let cfg = StoreConfig {
             page_size: 256,
             buffer_pages: 2,
             backing: Backing::File(dir.path().join("store.db")),
+            parallelism: 1,
         };
         let s = SharedStore::open(&cfg).unwrap();
         let ids: Vec<_> = (0..10u8)
@@ -207,5 +274,34 @@ mod tests {
         s.reset_stats();
         assert_eq!(s.stats().total(), 0);
         assert_eq!(s.with_page(id, |d| d[0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn concurrent_handles_share_accounting() {
+        let s = SharedStore::open(&StoreConfig::small(128, 8).with_parallelism(4)).unwrap();
+        let ids: Vec<PageId> = (0..16u8)
+            .map(|i| {
+                let id = s.allocate().unwrap();
+                s.write_page(id, &[i; 16]).unwrap();
+                id
+            })
+            .collect();
+        s.flush().unwrap();
+        s.reset_stats();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let s = s.clone();
+                let ids = &ids;
+                scope.spawn(move || {
+                    for (i, &id) in ids.iter().enumerate() {
+                        let _ = t;
+                        assert_eq!(s.with_page(id, |d| d[0]).unwrap(), i as u8);
+                    }
+                });
+            }
+        });
+        let st = s.stats();
+        // Every one of the 4 × 16 read accesses is a hit or a read.
+        assert_eq!(st.reads + st.hits, 64);
     }
 }

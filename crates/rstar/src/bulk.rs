@@ -115,7 +115,7 @@ impl<L: LeafPayload> RStarTree<L> {
 
         // The create() call made a placeholder root leaf; release it and
         // install the packed root.
-        store.free(tree.root_page());
+        store.free(tree.root_page())?;
         tree.set_root(level[0].child, height, n);
         Ok(tree)
     }

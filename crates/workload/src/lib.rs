@@ -12,8 +12,7 @@
 
 use boxagg_common::geom::{Point, Rect};
 use boxagg_common::poly::Poly;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use boxagg_common::rng::StdRng;
 
 /// How object centers are placed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -11,8 +11,7 @@
 //! Run with `cargo run --release --example datacube`.
 
 use boxagg::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use boxagg_common::rng::StdRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     const STORES: usize = 200;

@@ -10,8 +10,7 @@ use boxagg::batree::BATree;
 use boxagg::common::traits::DominanceSumIndex;
 use boxagg::common::{Point, Rect};
 use boxagg::pagestore::{Backing, FilePager, SharedStore, StoreConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use boxagg_common::rng::StdRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join("boxagg_example_store");
@@ -23,6 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         page_size: 8192,
         buffer_pages: 64, // a deliberately small buffer: 512 KiB
         backing: Backing::File(path.clone()),
+        parallelism: 1,
     };
 
     // Build a 50k-point dominance index on disk.

@@ -14,8 +14,7 @@
 //! Run with `cargo run --release --example temporal`.
 
 use boxagg::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use boxagg_common::rng::StdRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One day of sessions, seconds 0..86400.

@@ -6,8 +6,7 @@ use boxagg::common::traits::DominanceSumIndex;
 use boxagg::common::{Point, Rect};
 use boxagg::ecdf::{BorderPolicy, EcdfBTree};
 use boxagg::pagestore::{Backing, FilePager, SharedStore, StoreConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use boxagg_common::rng::StdRng;
 
 fn tmpfile(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join("boxagg_persistence_tests");
@@ -31,6 +30,7 @@ fn batree_survives_reopen() {
         page_size: 1024,
         buffer_pages: 16,
         backing: Backing::File(path.clone()),
+        parallelism: 1,
     };
     let (root, len, expected): (_, _, Vec<f64>) = {
         let store = SharedStore::open(&cfg).unwrap();
@@ -75,6 +75,7 @@ fn ecdf_btree_survives_reopen() {
         page_size: 1024,
         buffer_pages: 8,
         backing: Backing::File(path.clone()),
+        parallelism: 1,
     };
     let (root, len) = {
         let store = SharedStore::open(&cfg).unwrap();

@@ -1,10 +1,11 @@
-//! Property-based tests of the storage substrate: the LRU buffer pool
+//! Randomized model tests of the storage substrate: the buffer pool
 //! must behave exactly like a trivial model (a vector of page images)
 //! under arbitrary interleavings of allocate / write / read / free /
-//! flush, for any pool capacity.
+//! flush, for any pool capacity and shard count. Deterministic seeds —
+//! the workspace builds offline, without the `proptest` crate.
 
 use boxagg::pagestore::{BufferPool, MemPager, PageId};
-use proptest::prelude::*;
+use boxagg_common::rng::StdRng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -18,92 +19,118 @@ enum Op {
     Flush,
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        2 => Just(Op::Allocate),
-        4 => (any::<u8>(), 0usize..64).prop_map(|(f, i)| Op::Write(f, i)),
-        4 => (0usize..64).prop_map(Op::Read),
-        1 => (0usize..64).prop_map(Op::Free),
-        1 => Just(Op::Flush),
-    ]
+fn gen_op(rng: &mut StdRng) -> Op {
+    match rng.gen_range(0..12) {
+        0 | 1 => Op::Allocate,
+        2..=5 => Op::Write(rng.gen::<u8>(), rng.gen_range(0..64)),
+        6..=9 => Op::Read(rng.gen_range(0..64)),
+        10 => Op::Free(rng.gen_range(0..64)),
+        _ => Op::Flush,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn run_case(capacity: usize, shards: usize, ops: &[Op]) {
+    const PAGE: usize = 128;
+    let pool = BufferPool::with_shards(Box::new(MemPager::new(PAGE)), capacity, shards);
+    // Model: id → current contents (None = freed).
+    let mut model: Vec<Option<Vec<u8>>> = Vec::new();
+    let live = |m: &Vec<Option<Vec<u8>>>| -> Vec<usize> {
+        m.iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_some())
+            .map(|(i, _)| i)
+            .collect()
+    };
 
-    #[test]
-    fn buffer_pool_matches_model(
-        capacity in 1usize..6,
-        ops in prop::collection::vec(op(), 1..120),
-    ) {
-        const PAGE: usize = 128;
-        let mut pool = BufferPool::new(Box::new(MemPager::new(PAGE)), capacity);
-        // Model: id → current contents (None = freed).
-        let mut model: Vec<Option<Vec<u8>>> = Vec::new();
-        let live = |m: &Vec<Option<Vec<u8>>>| -> Vec<usize> {
-            m.iter().enumerate().filter(|(_, v)| v.is_some()).map(|(i, _)| i).collect()
-        };
-
-        for o in ops {
-            match o {
-                Op::Allocate => {
-                    let id = pool.allocate().unwrap();
-                    let idx = id.0 as usize;
-                    if idx < model.len() {
-                        // Recycled page.
-                        prop_assert!(model[idx].is_none(), "allocator reused a live page");
-                        model[idx] = Some(vec![0u8; PAGE]);
-                    } else {
-                        prop_assert_eq!(idx, model.len(), "non-dense allocation");
-                        model.push(Some(vec![0u8; PAGE]));
-                    }
-                    // Fresh/recycled pages must be written before read;
-                    // write a known pattern right away like real callers.
-                    pool.write_page(id, &[idx as u8; 16]).unwrap();
-                    let mut img = vec![0u8; PAGE];
-                    img[..16].copy_from_slice(&[idx as u8; 16]);
-                    model[idx] = Some(img);
+    for o in ops {
+        match *o {
+            Op::Allocate => {
+                let id = pool.allocate().unwrap();
+                let idx = id.0 as usize;
+                if idx < model.len() {
+                    // Recycled page.
+                    assert!(model[idx].is_none(), "allocator reused a live page");
+                    model[idx] = Some(vec![0u8; PAGE]);
+                } else {
+                    assert_eq!(idx, model.len(), "non-dense allocation");
+                    model.push(Some(vec![0u8; PAGE]));
                 }
-                Op::Write(fill, i) => {
-                    let ids = live(&model);
-                    if ids.is_empty() { continue; }
-                    let idx = ids[i % ids.len()];
-                    pool.write_page(PageId(idx as u64), &[fill; 100]).unwrap();
-                    let mut img = vec![0u8; PAGE];
-                    img[..100].copy_from_slice(&[fill; 100]);
-                    model[idx] = Some(img);
-                }
-                Op::Read(i) => {
-                    let ids = live(&model);
-                    if ids.is_empty() { continue; }
-                    let idx = ids[i % ids.len()];
-                    let got = pool
-                        .with_page(PageId(idx as u64), |d| d.to_vec())
-                        .unwrap();
-                    prop_assert_eq!(&got, model[idx].as_ref().unwrap(),
-                        "page {} contents diverged", idx);
-                }
-                Op::Free(i) => {
-                    let ids = live(&model);
-                    if ids.is_empty() { continue; }
-                    let idx = ids[i % ids.len()];
-                    pool.free_page(PageId(idx as u64));
-                    model[idx] = None;
-                }
-                Op::Flush => pool.flush_all().unwrap(),
+                // Fresh/recycled pages must be written before read;
+                // write a known pattern right away like real callers.
+                pool.write_page(id, &[idx as u8; 16]).unwrap();
+                let mut img = vec![0u8; PAGE];
+                img[..16].copy_from_slice(&[idx as u8; 16]);
+                model[idx] = Some(img);
             }
-            prop_assert_eq!(
-                pool.live_pages() as usize,
-                live(&model).len(),
-                "live-page accounting diverged"
-            );
-            prop_assert!(pool.resident() <= capacity, "capacity exceeded");
+            Op::Write(fill, i) => {
+                let ids = live(&model);
+                if ids.is_empty() {
+                    continue;
+                }
+                let idx = ids[i % ids.len()];
+                pool.write_page(PageId(idx as u64), &[fill; 100]).unwrap();
+                let mut img = vec![0u8; PAGE];
+                img[..100].copy_from_slice(&[fill; 100]);
+                model[idx] = Some(img);
+            }
+            Op::Read(i) => {
+                let ids = live(&model);
+                if ids.is_empty() {
+                    continue;
+                }
+                let idx = ids[i % ids.len()];
+                let got = pool.with_page(PageId(idx as u64), |d| d.to_vec()).unwrap();
+                assert_eq!(
+                    &got,
+                    model[idx].as_ref().unwrap(),
+                    "page {idx} contents diverged"
+                );
+            }
+            Op::Free(i) => {
+                let ids = live(&model);
+                if ids.is_empty() {
+                    continue;
+                }
+                let idx = ids[i % ids.len()];
+                pool.free_page(PageId(idx as u64)).unwrap();
+                model[idx] = None;
+                // A second free of the same page must be rejected.
+                assert!(pool.free_page(PageId(idx as u64)).is_err());
+            }
+            Op::Flush => pool.flush_all().unwrap(),
         }
+        assert_eq!(
+            pool.live_pages() as usize,
+            live(&model).len(),
+            "live-page accounting diverged"
+        );
+        // Per-shard capacity splitting can round each shard up to ≥ 1
+        // frame, so the global bound is capacity + (shards - 1).
+        assert!(
+            pool.resident() <= capacity + shards.saturating_sub(1),
+            "capacity exceeded"
+        );
+    }
 
-        // Final sweep: every live page readable and correct.
-        for idx in live(&model) {
-            let got = pool.with_page(PageId(idx as u64), |d| d.to_vec()).unwrap();
-            prop_assert_eq!(&got, model[idx].as_ref().unwrap());
+    // Final sweep: every live page readable and correct.
+    for idx in live(&model) {
+        let got = pool.with_page(PageId(idx as u64), |d| d.to_vec()).unwrap();
+        assert_eq!(&got, model[idx].as_ref().unwrap());
+    }
+}
+
+#[test]
+fn buffer_pool_matches_model() {
+    let mut rng = StdRng::seed_from_u64(0x10DE1);
+    for case in 0..128 {
+        let capacity = 1 + rng.gen_range(0..5);
+        let n_ops = 1 + rng.gen_range(0..119);
+        let ops: Vec<Op> = (0..n_ops).map(|_| gen_op(&mut rng)).collect();
+        // The same op sequence must hold for a single global LRU and
+        // for every sharded configuration.
+        for shards in [1, 2, 4] {
+            run_case(capacity, shards, &ops);
         }
+        let _ = case;
     }
 }
