@@ -44,11 +44,11 @@ fn split_cell<V: AggValue>(cell: Cell<V>, space: &Rect) -> (Cell<V>, Cell<V>) {
     dims.sort_by(|&a, &b| {
         let na = norm_extent(&cell.rect, space, a);
         let nb = norm_extent(&cell.rect, space, b);
-        nb.partial_cmp(&na).unwrap()
+        nb.total_cmp(&na)
     });
     for j in dims {
         let mut coords: Vec<f64> = cell.points.iter().map(|(p, _)| p.get(j)).collect();
-        coords.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        coords.sort_by(f64::total_cmp);
         let mut m = coords[coords.len() / 2];
         if m == coords[0] {
             match coords.iter().find(|&&c| c > coords[0]) {
@@ -98,7 +98,7 @@ pub(crate) fn bulk_build<V: AggValue>(
     mut points: Vec<(Point, V)>,
 ) -> Result<PageId> {
     // Merge coincident points, as dynamic insertion would.
-    points.sort_by(|a, b| a.0.coords().partial_cmp(b.0.coords()).unwrap());
+    points.sort_by(|a, b| a.0.lex_cmp(&b.0));
     points.dedup_by(|b, a| {
         if a.0 == b.0 {
             let bv = std::mem::replace(&mut b.1, V::zero());

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 //! # boxagg-batree — the Box Aggregation Tree (§5 of the paper)

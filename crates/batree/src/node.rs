@@ -126,7 +126,7 @@ impl BaParams {
 /// page optimization); beyond [`BaParams::inline_border_cap`] they spill
 /// into a dedicated `(d−1)`-dim BA-tree.
 #[derive(Debug, Clone)]
-pub enum BorderRef<V> {
+pub(crate) enum BorderRef<V> {
     /// Entries stored in the record itself (projected points).
     Inline(Vec<(Point, V)>),
     /// Root of a dedicated border tree.
@@ -135,20 +135,20 @@ pub enum BorderRef<V> {
 
 impl<V> BorderRef<V> {
     /// An empty border.
-    pub fn empty() -> Self {
+    pub(crate) fn empty() -> Self {
         BorderRef::Inline(Vec::new())
     }
 
     /// Whether the border holds no entries (inline only; a spilled tree
     /// is never empty).
-    pub fn is_empty_inline(&self) -> bool {
+    pub(crate) fn is_empty_inline(&self) -> bool {
         matches!(self, BorderRef::Inline(v) if v.is_empty())
     }
 }
 
 /// One k-d-B index record augmented with aggregation state (§5).
 #[derive(Debug, Clone)]
-pub struct IndexRecord<V> {
+pub(crate) struct IndexRecord<V> {
     /// Region covered by the child subtree. Records of a node tile the
     /// node's region without overlap.
     pub rect: Rect,
@@ -165,7 +165,7 @@ pub struct IndexRecord<V> {
 
 /// Decoded node contents.
 #[derive(Debug, Clone)]
-pub enum Node<V> {
+pub(crate) enum Node<V> {
     /// Weighted points.
     Leaf(Vec<(Point, V)>),
     /// Augmented k-d-B records.
@@ -174,12 +174,12 @@ pub enum Node<V> {
 
 impl<V: AggValue> Node<V> {
     /// An empty leaf.
-    pub fn empty_leaf() -> Self {
+    pub(crate) fn empty_leaf() -> Self {
         Node::Leaf(Vec::new())
     }
 
     /// Whether the node respects the page capacity for its kind.
-    pub fn fits(&self, params: &BaParams, dim: usize) -> bool {
+    pub(crate) fn fits(&self, params: &BaParams, dim: usize) -> bool {
         match self {
             Node::Leaf(es) => es.len() <= params.leaf_cap(dim),
             Node::Index(rs) => rs.len() <= params.index_cap(dim),
@@ -187,7 +187,7 @@ impl<V: AggValue> Node<V> {
     }
 
     /// Serializes the node into page bytes.
-    pub fn encode(&self, dim: usize, w: &mut ByteWriter) {
+    pub(crate) fn encode(&self, dim: usize, w: &mut ByteWriter) {
         match self {
             Node::Leaf(entries) => {
                 w.put_u8(0);
@@ -230,7 +230,7 @@ impl<V: AggValue> Node<V> {
     }
 
     /// Deserializes a node of known dimensionality from page bytes.
-    pub fn decode(bytes: &[u8], dim: usize) -> Result<Self> {
+    pub(crate) fn decode(bytes: &[u8], dim: usize) -> Result<Self> {
         let mut r = ByteReader::new(bytes);
         let tag = r.get_u8()?;
         let count = r.get_u16()? as usize;

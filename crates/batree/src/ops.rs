@@ -495,7 +495,7 @@ fn bulk_build_1d<V: AggValue>(
     mut entries: Vec<(Point, V)>,
 ) -> Result<PageId> {
     debug_assert_eq!(space.dim(), 1);
-    entries.sort_by(|a, b| a.0.get(0).partial_cmp(&b.0.get(0)).unwrap());
+    entries.sort_by(|a, b| a.0.get(0).total_cmp(&b.0.get(0)));
     // Merge coincident points (the dynamic path does the same).
     let mut merged: Vec<(Point, V)> = Vec::with_capacity(entries.len());
     for (p, v) in entries {
@@ -619,10 +619,10 @@ fn choose_split<V: AggValue>(
         Node::Leaf(entries) => {
             // Widest dimension (normalized) that actually separates points.
             let mut dims: Vec<usize> = (0..dim).collect();
-            dims.sort_by(|&a, &b| norm(b).partial_cmp(&norm(a)).unwrap());
+            dims.sort_by(|&a, &b| norm(b).total_cmp(&norm(a)));
             for j in dims {
                 let mut coords: Vec<f64> = entries.iter().map(|(p, _)| p.get(j)).collect();
-                coords.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                coords.sort_by(f64::total_cmp);
                 let mut m = coords[coords.len() / 2];
                 if m == coords[0] {
                     match coords.iter().find(|&&c| c > coords[0]) {
@@ -646,7 +646,7 @@ fn choose_split<V: AggValue>(
                         }
                     }
                 }
-                cands.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                cands.sort_by(f64::total_cmp);
                 cands.dedup();
                 for &m in &cands {
                     let mut lo = 0usize;

@@ -16,7 +16,7 @@ use boxagg_core::reduction::EoBoxSum;
 use boxagg_pagestore::{SharedStore, StoreConfig};
 use boxagg_workload::gen_queries;
 
-fn main() {
+fn main() -> boxagg_common::error::Result<()> {
     let args = Args::parse(30_000);
     let objects = args.dataset();
     let queries = gen_queries(2, args.queries.min(300), 0.01, 555);
@@ -27,11 +27,11 @@ fn main() {
     );
 
     // --- 1. corner vs EO reduction over BA-trees ------------------------
-    let mut corner = SimpleBoxSum::batree(args.space(), args.store_config()).unwrap();
-    let mut eo = EoBoxSum::batree(args.space(), args.store_config()).unwrap();
+    let mut corner = SimpleBoxSum::batree(args.space(), args.store_config())?;
+    let mut eo = EoBoxSum::batree(args.space(), args.store_config())?;
     for (r, v) in &objects {
-        corner.insert(r, *v).unwrap();
-        eo.insert(r, *v).unwrap();
+        corner.insert(r, *v)?;
+        eo.insert(r, *v)?;
     }
     eprintln!("  engines built");
 
@@ -39,7 +39,7 @@ fn main() {
     corner_store.reset_stats();
     let mut sum_c = 0.0;
     for q in &queries {
-        sum_c += corner.query(q).unwrap();
+        sum_c += corner.query(q)?;
     }
     let corner_ios = corner_store.stats().total();
 
@@ -47,7 +47,7 @@ fn main() {
     eo_store.reset_stats();
     let mut sum_e = 0.0;
     for q in &queries {
-        sum_e += eo.query(q).unwrap();
+        sum_e += eo.query(q)?;
     }
     let eo_ios = eo_store.stats().total();
     assert!(
@@ -90,16 +90,16 @@ fn main() {
             backing: Default::default(),
             parallelism: 1,
         };
-        let store = SharedStore::open(&cfg).unwrap();
-        let mut engine = SimpleBoxSum::batree_in(args.space(), store.clone()).unwrap();
+        let store = SharedStore::open(&cfg)?;
+        let mut engine = SimpleBoxSum::batree_in(args.space(), store.clone())?;
         let t0 = std::time::Instant::now();
         for (r, v) in &objects {
-            engine.insert(r, *v).unwrap();
+            engine.insert(r, *v)?;
         }
         let build_secs = t0.elapsed().as_secs_f64();
         store.reset_stats();
         for q in &queries {
-            engine.query(q).unwrap();
+            engine.query(q)?;
         }
         let q_ios = store.stats().total() as f64 / queries.len() as f64;
         eprintln!("  page {page_size}: {q_ios:.1} I/Os per query");
@@ -116,4 +116,5 @@ fn main() {
         &["page B", "pages", "MiB", "I/Os per query", "build s"],
         &rows,
     );
+    Ok(())
 }

@@ -18,7 +18,7 @@ use boxagg_pagestore::SharedStore;
 use boxagg_rstar::RStarTree;
 use boxagg_workload::gen_queries;
 
-fn main() {
+fn main() -> boxagg_common::error::Result<()> {
     let args = Args::parse_with(100_000, 2);
     eprintln!("dim3: n = {}, {} queries per QBS", args.n, args.queries);
     let space = Rect::new(Point::zeros(3), Point::splat(3, 1.0));
@@ -59,14 +59,14 @@ fn main() {
         bat_store.reset_stats();
         let mut sum_b = 0.0;
         for q in &queries {
-            sum_b += bat.query(q).unwrap();
+            sum_b += bat.query(q)?;
         }
         let bat_ios = bat_store.stats().total();
 
         store.reset_stats();
         let mut sum_a = 0.0;
         for q in &queries {
-            sum_a += ar.box_sum(q).unwrap().sum;
+            sum_a += ar.box_sum(q)?.sum;
         }
         let ar_ios = store.stats().total();
         assert!(
@@ -94,4 +94,5 @@ fn main() {
         &["QBS", "aR", "BAT"],
         &rows,
     );
+    Ok(())
 }

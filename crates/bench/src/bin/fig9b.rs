@@ -56,19 +56,27 @@ fn main() {
     // Build, sweep, drop — one scheme at a time to bound memory.
     {
         let mut s = build_ar(&args, &objects);
-        rows.push(sweep(&mut s, &args, |e, q| e.box_sum(q).unwrap().sum));
+        rows.push(sweep(&mut s, &args, |e, q| {
+            e.box_sum(q).expect("aR box-sum query").sum
+        }));
     }
     {
         let mut s = build_ecdf(&args, BorderPolicy::UpdateOptimized, &objects);
-        rows.push(sweep(&mut s, &args, |e, q| e.query(q).unwrap()));
+        rows.push(sweep(&mut s, &args, |e, q| {
+            e.query(q).expect("box-sum query")
+        }));
     }
     {
         let mut s = build_ecdf(&args, BorderPolicy::QueryOptimized, &objects);
-        rows.push(sweep(&mut s, &args, |e, q| e.query(q).unwrap()));
+        rows.push(sweep(&mut s, &args, |e, q| {
+            e.query(q).expect("box-sum query")
+        }));
     }
     {
         let mut s = build_bat(&args, &objects);
-        rows.push(sweep(&mut s, &args, |e, q| e.query(q).unwrap()));
+        rows.push(sweep(&mut s, &args, |e, q| {
+            e.query(q).expect("box-sum query")
+        }));
     }
 
     print_table(

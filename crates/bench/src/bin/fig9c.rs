@@ -72,7 +72,9 @@ fn main() {
             ar.build_secs,
             ar.size_mib()
         );
-        let m_ar = run_queries(&mut ar, &queries, |e, q| e.functional_sum(q).unwrap());
+        let m_ar = run_queries(&mut ar, &queries, |e, q| {
+            e.functional_sum(q).expect("functional box-sum query")
+        });
         eprintln!("    aR_d{degree}: {} I/Os", fmt_u64(m_ar.ios));
         rows.push(vec![
             format!("aR_d{degree}"),
@@ -98,7 +100,9 @@ fn main() {
             bat.build_secs,
             bat.size_mib()
         );
-        let m_bat = run_queries(&mut bat, &queries, |e, q| e.query(q).unwrap());
+        let m_bat = run_queries(&mut bat, &queries, |e, q| {
+            e.query(q).expect("functional box-sum query")
+        });
         eprintln!("    BAT_d{degree}: {} I/Os", fmt_u64(m_bat.ios));
         rows.push(vec![
             format!("BAT_d{degree}"),
@@ -131,7 +135,9 @@ fn main() {
         let objects = objects_for(n, args.seed, 0);
         let sweep_args = Args { n, ..args.clone() };
         let mut ar = build_ar_functional(&sweep_args, &objects, tuple_value_size(2, 0));
-        let m_ar = run_queries(&mut ar, &sweep_queries, |e, q| e.functional_sum(q).unwrap());
+        let m_ar = run_queries(&mut ar, &sweep_queries, |e, q| {
+            e.functional_sum(q).expect("functional box-sum query")
+        });
         drop(ar);
         let engine = FunctionalBoxSum::batree_bulk(
             sweep_args.space(),
@@ -147,7 +153,9 @@ fn main() {
             store,
             build_secs: 0.0,
         };
-        let m_bat = run_queries(&mut bat, &sweep_queries, |e, q| e.query(q).unwrap());
+        let m_bat = run_queries(&mut bat, &sweep_queries, |e, q| {
+            e.query(q).expect("functional box-sum query")
+        });
         let per = sweep_queries.len() as f64;
         eprintln!(
             "  n = {}: aR {:.1} I/Os/query, BAT {:.1} I/Os/query",

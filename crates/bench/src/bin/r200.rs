@@ -12,7 +12,7 @@
 use boxagg_bench::{build_ar, build_bat, fmt_u64, print_table, Args, QBS_SWEEP};
 use boxagg_workload::gen_queries;
 
-fn main() {
+fn main() -> boxagg_common::error::Result<()> {
     let args = Args::parse_with(300_000, 2);
     eprintln!("r200: n = {}, {} queries per QBS", args.n, args.queries);
     let objects = args.dataset();
@@ -30,19 +30,19 @@ fn main() {
 
         ar.store.reset_stats();
         for q in &queries {
-            ar.engine.box_sum_scan(q).unwrap();
+            ar.engine.box_sum_scan(q)?;
         }
         let plain_ios = ar.store.stats().total();
 
         ar.store.reset_stats();
         for q in &queries {
-            ar.engine.box_sum(q).unwrap();
+            ar.engine.box_sum(q)?;
         }
         let ar_ios = ar.store.stats().total();
 
         bat.store.reset_stats();
         for q in &queries {
-            bat.engine.query(q).unwrap();
+            bat.engine.query(q)?;
         }
         let bat_ios = bat.store.stats().total().max(1);
 
@@ -87,7 +87,7 @@ fn main() {
         let mut ar = build_ar(&sweep_args, &objects);
         ar.store.reset_stats();
         for q in &sweep_queries {
-            ar.engine.box_sum_scan(q).unwrap();
+            ar.engine.box_sum_scan(q)?;
         }
         let plain_ios = ar.store.stats().total();
         drop(ar);
@@ -97,7 +97,7 @@ fn main() {
         let store = bat.indexes()[0].store().clone();
         store.reset_stats();
         for q in &sweep_queries {
-            bat.query(q).unwrap();
+            bat.query(q)?;
         }
         let bat_ios = store.stats().total().max(1);
         eprintln!(
@@ -119,4 +119,5 @@ fn main() {
         &["n", "plain R*", "BAT", "ratio"],
         &rows,
     );
+    Ok(())
 }

@@ -20,21 +20,21 @@ fn rand_rect(rng: &mut StdRng, dim: usize, side: f64) -> Rect {
     Rect::new(low, high)
 }
 
-fn main() {
+fn main() -> boxagg_common::error::Result<()> {
     let args = Args::parse(0);
     let objects_per_dim = 300usize;
     let queries = 50usize;
     let mut rows = Vec::new();
     for dim in 1..=6usize {
         let mut rng = StdRng::seed_from_u64(args.seed + dim as u64);
-        let mut corner = CornerBoxSum::new(dim, |_| Ok(NaiveDominanceIndex::new(dim))).unwrap();
-        let mut eo = EoBoxSum::new(dim, |_| Ok(NaiveDominanceIndex::new(dim))).unwrap();
+        let mut corner = CornerBoxSum::new(dim, |_| Ok(NaiveDominanceIndex::new(dim)))?;
+        let mut eo = EoBoxSum::new(dim, |_| Ok(NaiveDominanceIndex::new(dim)))?;
         let mut objs = Vec::new();
         for _ in 0..objects_per_dim {
             let r = rand_rect(&mut rng, dim, 0.4);
             let v = rng.gen::<f64>() * 10.0;
-            corner.insert(&r, v).unwrap();
-            eo.insert(&r, v).unwrap();
+            corner.insert(&r, v)?;
+            eo.insert(&r, v)?;
             objs.push((r, v));
         }
         let mut max_rel = 0.0f64;
@@ -45,8 +45,8 @@ fn main() {
                 .filter(|(r, _)| r.intersects(&q))
                 .map(|(_, v)| v)
                 .sum();
-            let a = corner.query(&q).unwrap();
-            let b = eo.query(&q).unwrap();
+            let a = corner.query(&q)?;
+            let b = eo.query(&q)?;
             let scale = want.abs().max(1.0);
             max_rel = max_rel
                 .max(((a - want) / scale).abs())
@@ -87,4 +87,5 @@ fn main() {
         &rows,
     );
     println!("\n(§2: with d = 3 the method of [13] needs 26 dominance-sums; the corner reduction needs 8.)");
+    Ok(())
 }

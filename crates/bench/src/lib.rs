@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 //! Shared harness for the figure/table reproduction binaries.
 //!
 //! Each binary regenerates one artifact of the paper's §6 evaluation
@@ -77,7 +80,10 @@ impl Args {
                     args.buffer_mb = val.parse().expect("--buffer-mb takes an integer")
                 }
                 "--threads" => args.threads = val.parse().expect("--threads takes an integer"),
-                other => panic!("unknown flag {other}"),
+                other => {
+                    eprintln!("unknown flag {other}");
+                    std::process::exit(2);
+                }
             }
             i += 2;
         }

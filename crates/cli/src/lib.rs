@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 //! Implementation of the `boxagg` command-line tool.

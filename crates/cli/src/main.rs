@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! `boxagg` — build, query and inspect persistent box-aggregation
 //! indexes.
 //!

@@ -102,6 +102,30 @@ impl Point {
         &self.coords[..self.dim()]
     }
 
+    /// Every coordinate is finite (no NaN, no ±∞).
+    ///
+    /// Index structures require finite coordinates: NaN breaks the total
+    /// order their node layouts rely on, silently corrupting searches.
+    /// Public index APIs validate with this before accepting a point.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.coords().iter().all(|c| c.is_finite())
+    }
+
+    /// Lexicographic total order over the coordinates, using
+    /// [`f64::total_cmp`] per component so the comparison is a valid
+    /// `Ord` even in the presence of NaN or signed zeros.
+    pub fn lex_cmp(&self, other: &Point) -> std::cmp::Ordering {
+        debug_assert_eq!(self.dim, other.dim);
+        for (a, b) in self.coords().iter().zip(other.coords()) {
+            let ord = a.total_cmp(b);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
     /// `self` dominates `other`: `self[i] ≥ other[i]` for every dimension.
     ///
     /// This is the (closed) dominance relation of §2.
@@ -271,6 +295,12 @@ impl Rect {
     #[inline]
     pub fn extent(&self, i: usize) -> Coord {
         self.high.get(i) - self.low.get(i)
+    }
+
+    /// Both corners are finite (no NaN, no ±∞). See [`Point::is_finite`].
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.low.is_finite() && self.high.is_finite()
     }
 
     /// Closed containment of a point.
@@ -557,5 +587,31 @@ mod tests {
     fn splat_and_zeros() {
         assert_eq!(Point::zeros(3).coords(), &[0.0, 0.0, 0.0]);
         assert_eq!(Point::splat(2, 7.5).coords(), &[7.5, 7.5]);
+    }
+
+    #[test]
+    fn is_finite_rejects_nan_and_infinities() {
+        assert!(p(&[1.0, -2.0]).is_finite());
+        assert!(!p(&[1.0, f64::NAN]).is_finite());
+        assert!(!p(&[f64::INFINITY, 0.0]).is_finite());
+        assert!(!p(&[0.0, f64::NEG_INFINITY]).is_finite());
+        let r = Rect::from_bounds(&[(0.0, 1.0)]);
+        assert!(r.is_finite());
+        let bad = Rect::degenerate(p(&[f64::NAN]));
+        assert!(!bad.is_finite());
+    }
+
+    #[test]
+    fn lex_cmp_is_a_total_order() {
+        use std::cmp::Ordering;
+        assert_eq!(p(&[1.0, 2.0]).lex_cmp(&p(&[1.0, 3.0])), Ordering::Less);
+        assert_eq!(p(&[2.0, 0.0]).lex_cmp(&p(&[1.0, 9.0])), Ordering::Greater);
+        assert_eq!(p(&[1.0, 2.0]).lex_cmp(&p(&[1.0, 2.0])), Ordering::Equal);
+        // total_cmp semantics: NaN sorts above +inf instead of poisoning
+        // the comparison.
+        assert_eq!(
+            p(&[f64::NAN]).lex_cmp(&p(&[f64::INFINITY])),
+            Ordering::Greater
+        );
     }
 }

@@ -277,7 +277,7 @@ fn bulk_build<V: AggValue>(
     if points.is_empty() {
         return Ok(PageId::NULL);
     }
-    points.sort_by(|a, b| a.0.get(level).partial_cmp(&b.0.get(level)).unwrap());
+    points.sort_by(|a, b| a.0.get(level).total_cmp(&b.0.get(level)));
 
     // Leaf runs at ~full occupancy.
     let leaf_cap = ctx.params.leaf_cap(ctx.dim);
@@ -287,6 +287,7 @@ fn bulk_build<V: AggValue>(
     while start < n {
         let end = (start + leaf_cap).min(n);
         let chunk = points[start..end].to_vec();
+        // lint: allow(unwrap) -- chunk is a non-empty slice: start < end
         let router = chunk.last().unwrap().0.get(level);
         let id = ctx.store.allocate()?;
         ctx.write(id, level, &Node::Leaf(chunk))?;
@@ -303,7 +304,9 @@ fn bulk_build<V: AggValue>(
         while i < level_items.len() {
             let group_end = (i + cap).min(level_items.len());
             let group = &level_items[i..group_end];
+            // lint: allow(unwrap) -- group is a non-empty slice: i < group_end
             let node_start = group.first().unwrap().2.start;
+            // lint: allow(unwrap) -- group is a non-empty slice: i < group_end
             let node_end = group.last().unwrap().2.end;
             let mut entries = Vec::with_capacity(group.len());
             for (router, child, range) in group {
@@ -318,6 +321,7 @@ fn bulk_build<V: AggValue>(
                 });
             }
             let id = ctx.store.allocate()?;
+            // lint: allow(unwrap) -- one entry per group member, group non-empty
             let router = entries.last().unwrap().router;
             ctx.write(id, level, &Node::Internal(entries))?;
             next.push((router, id, node_start..node_end));
@@ -521,7 +525,9 @@ fn insert_rec<V: AggValue>(
                 entries[i - 1].0.get(level) != entries[i].0.get(level)
             });
             let right: Vec<(Point, V)> = entries.split_off(cut);
+            // lint: allow(unwrap) -- split_position cuts strictly inside, both halves non-empty
             let left_router = entries.last().unwrap().0.get(level);
+            // lint: allow(unwrap) -- split_position cuts strictly inside, both halves non-empty
             let right_router = right.last().unwrap().0.get(level);
             let right_page = ctx.store.allocate()?;
             ctx.write(right_page, level, &Node::Leaf(right))?;
@@ -589,7 +595,9 @@ fn insert_rec<V: AggValue>(
                 let idx: Vec<usize> = (0..right.len()).collect();
                 rebuild_borders(ctx, level, &mut right, &idx)?;
             }
+            // lint: allow(unwrap) -- split_position cuts strictly inside, both halves non-empty
             let left_router = entries.last().unwrap().router;
+            // lint: allow(unwrap) -- split_position cuts strictly inside, both halves non-empty
             let right_router = right.last().unwrap().router;
             let right_page = ctx.store.allocate()?;
             ctx.write(right_page, level, &Node::Internal(right))?;
@@ -701,6 +709,14 @@ impl<V: AggValue> EcdfBTree<V> {
             max_value_size,
         };
         params.validate(dim)?;
+        // Reject non-finite coordinates up front: a NaN would silently
+        // corrupt the router ordering the whole structure depends on (and
+        // previously panicked mid-build, leaking allocated pages).
+        if let Some((p, _)) = points.iter().find(|(p, _)| !p.is_finite()) {
+            return Err(invalid_arg(format!(
+                "point {p:?} has a non-finite coordinate"
+            )));
+        }
         let len = points.len();
         let root = {
             let ctx = Ctx {
@@ -807,6 +823,11 @@ impl<V: AggValue> DominanceSumIndex<V> for EcdfBTree<V> {
                 self.dim
             )));
         }
+        if !p.is_finite() {
+            return Err(invalid_arg(format!(
+                "point {p:?} has a non-finite coordinate"
+            )));
+        }
         self.root = tree_insert(self.ctx(), 0, self.root, p, v)?;
         self.len += 1;
         Ok(())
@@ -848,6 +869,95 @@ mod tests {
 
     const POLICIES: [BorderPolicy; 2] =
         [BorderPolicy::UpdateOptimized, BorderPolicy::QueryOptimized];
+
+    #[test]
+    fn node_codec_round_trip() {
+        // Leaf nodes.
+        let leaf: Node<f64> = Node::Leaf(vec![
+            (Point::new(&[1.0, 2.0]), 3.5),
+            (Point::new(&[-4.0, 0.25]), 1.0),
+        ]);
+        let mut w = ByteWriter::new();
+        leaf.encode(2, 0, &mut w);
+        let back: Node<f64> = Node::decode(w.as_slice(), 2, 0).unwrap();
+        match back {
+            Node::Leaf(entries) => {
+                assert_eq!(entries.len(), 2);
+                assert_eq!(entries[0].0, Point::new(&[1.0, 2.0]));
+                assert_eq!(entries[0].1, 3.5);
+                assert_eq!(entries[1].0, Point::new(&[-4.0, 0.25]));
+            }
+            Node::Internal(_) => panic!("leaf decoded as internal"),
+        }
+
+        // Internal node at the last level (value borders).
+        let internal: Node<f64> = Node::Internal(vec![InternalEntry {
+            router: 7.5,
+            child: PageId(42),
+            border: Border::Value(9.0),
+        }]);
+        let mut w = ByteWriter::new();
+        internal.encode(1, 0, &mut w);
+        let back: Node<f64> = Node::decode(w.as_slice(), 1, 0).unwrap();
+        match back {
+            Node::Internal(entries) => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].router, 7.5);
+                assert_eq!(entries[0].child, PageId(42));
+                match entries[0].border {
+                    Border::Value(v) => assert_eq!(v, 9.0),
+                    Border::Tree(_) => panic!("value border decoded as tree"),
+                }
+            }
+            Node::Leaf(_) => panic!("internal decoded as leaf"),
+        }
+
+        // Internal node above the last level (tree borders).
+        let internal: Node<f64> = Node::Internal(vec![InternalEntry {
+            router: -1.0,
+            child: PageId(7),
+            border: Border::Tree(PageId(13)),
+        }]);
+        let mut w = ByteWriter::new();
+        internal.encode(2, 0, &mut w);
+        let back: Node<f64> = Node::decode(w.as_slice(), 2, 0).unwrap();
+        match back {
+            Node::Internal(entries) => match entries[0].border {
+                Border::Tree(id) => assert_eq!(id, PageId(13)),
+                Border::Value(_) => panic!("tree border decoded as value"),
+            },
+            Node::Leaf(_) => panic!("internal decoded as leaf"),
+        }
+
+        // Corrupt tag is rejected, not misparsed.
+        assert!(Node::<f64>::decode(&[9u8, 0, 0], 2, 0).is_err());
+    }
+
+    #[test]
+    fn non_finite_points_are_rejected_not_corrupting() {
+        // Regression: a NaN coordinate used to panic mid-bulk-load (after
+        // pages were already allocated) and silently corrupt the router
+        // ordering on dynamic insert. Both paths must error up front.
+        for policy in POLICIES {
+            let store = SharedStore::open(&StoreConfig::small(512, 64)).unwrap();
+            let points = vec![
+                (Point::new(&[0.25, 0.5]), 1.0),
+                (Point::new(&[f64::NAN, 0.5]), 1.0),
+            ];
+            match EcdfBTree::<f64>::bulk_load(store, 2, policy, 8, points) {
+                Err(err) => assert!(err.to_string().contains("non-finite"), "got: {err}"),
+                Ok(_) => panic!("bulk_load must reject non-finite coordinates"),
+            }
+
+            let mut t = new_tree(2, policy, 512);
+            assert!(t.insert(Point::new(&[0.5, f64::INFINITY]), 1.0).is_err());
+            assert!(t.insert(Point::new(&[f64::NAN, 0.0]), 1.0).is_err());
+            assert!(t.is_empty(), "rejected inserts must not change the tree");
+            // The tree stays fully usable afterwards.
+            t.insert(Point::new(&[0.5, 0.5]), 2.0).unwrap();
+            assert_eq!(t.dominance_sum(&Point::new(&[1.0, 1.0])).unwrap(), 2.0);
+        }
+    }
 
     #[test]
     fn empty_tree_queries_zero() {

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 //! # boxagg-ecdf — ECDF dominance-sum structures (§4 of the paper)

@@ -68,7 +68,7 @@ fn build_level<V: AggValue>(
         let (p, v) = points[0].clone();
         return Box::new(LevelNode::Leaf(p, v));
     }
-    points.sort_by(|a, b| a.0.get(level).partial_cmp(&b.0.get(level)).unwrap());
+    points.sort_by(|a, b| a.0.get(level).total_cmp(&b.0.get(level)));
     let mid = points.len() / 2;
     let split = points[mid - 1].0.get(level);
     let border = if level + 1 < dim {

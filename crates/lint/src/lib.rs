@@ -1,0 +1,196 @@
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+#![warn(missing_docs)]
+
+//! # boxagg-lint — in-repo static analysis for the boxagg workspace
+//!
+//! A self-contained, zero-dependency linter enforcing the repository's
+//! structural invariants (see DESIGN.md, "Invariants & static
+//! analysis"): no silent panics in library code, no unaudited `unsafe`,
+//! rank-checked lock acquisition in `pagestore`, round-trip tests for
+//! every page codec, and no committed debugging markers.
+//!
+//! The build environment is offline — no clippy plugins, no `syn` — so
+//! the analysis is built on a small hand-rolled token scanner
+//! ([`lexer`]) instead of a full parser. Rules ([`rules`]) match token
+//! patterns, never text inside comments or strings.
+//!
+//! Run it three ways:
+//!
+//! * `cargo run -p boxagg-lint -- --deny-all` — CI entry point;
+//! * `cargo test -p boxagg-lint` — the fixture corpus plus a workspace
+//!   sweep run as ordinary tests, so `cargo test` is the single gate;
+//! * `boxagg-lint <paths>` — lint specific files or directories.
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub use rules::{Finding, RULE_KEYS};
+
+/// A [`Finding`] bound to the file it was found in.
+#[derive(Debug, Clone)]
+pub struct FileFinding {
+    /// Path as discovered (workspace-relative when walking a root).
+    pub path: PathBuf,
+    /// The violation.
+    pub finding: Finding,
+}
+
+impl fmt::Display for FileFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.finding.line,
+            self.finding.rule,
+            self.finding.message
+        )
+    }
+}
+
+/// Infers the owning crate from a path: the component after `crates`,
+/// stripped of any `boxagg-` prefix; the workspace root crate otherwise.
+pub fn crate_of(path: &Path) -> String {
+    let mut comps = path.components().map(|c| c.as_os_str().to_string_lossy());
+    while let Some(c) = comps.next() {
+        if c == "crates" {
+            if let Some(name) = comps.next() {
+                return name.strip_prefix("boxagg-").unwrap_or(&name).to_string();
+            }
+        }
+    }
+    "boxagg".to_string()
+}
+
+/// Lints one source string as though it lived at `path`.
+///
+/// A `// lint: crate(<name>)` directive in the source overrides the
+/// path-derived crate, so the fixture corpus can exercise crate-scoped
+/// rules from `crates/lint/tests/fixtures/`.
+pub fn lint_source(path: &Path, src: &str) -> Vec<FileFinding> {
+    let scanned = lexer::scan(src);
+    let crate_name = scanned
+        .crate_override
+        .clone()
+        .unwrap_or_else(|| crate_of(path));
+    rules::check(
+        &scanned,
+        rules::FileContext {
+            crate_name: &crate_name,
+        },
+    )
+    .into_iter()
+    .map(|finding| FileFinding {
+        path: path.to_path_buf(),
+        finding,
+    })
+    .collect()
+}
+
+/// Lints one file on disk.
+pub fn lint_file(path: &Path) -> std::io::Result<Vec<FileFinding>> {
+    let src = std::fs::read_to_string(path)?;
+    Ok(lint_source(path, &src))
+}
+
+/// Collects every lintable source file under a workspace root:
+/// `crates/*/src/**/*.rs` plus the root crate's `src/**/*.rs`.
+///
+/// Integration tests (`tests/`), examples and fixtures are out of scope
+/// by construction — R1/R3 target library code, and test files are free
+/// to unwrap.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            collect_rs(&dir.join("src"), &mut files)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every workspace source under `root`, returning all findings.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<FileFinding>> {
+    let mut out = Vec::new();
+    for path in workspace_sources(root)? {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let src = std::fs::read_to_string(&path)?;
+        out.extend(lint_source(&rel, &src));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_resolves_paths() {
+        assert_eq!(
+            crate_of(Path::new("crates/pagestore/src/buffer.rs")),
+            "pagestore"
+        );
+        assert_eq!(
+            crate_of(Path::new("/abs/repo/crates/batree/src/node.rs")),
+            "batree"
+        );
+        assert_eq!(crate_of(Path::new("src/lib.rs")), "boxagg");
+    }
+
+    #[test]
+    fn lint_source_binds_paths() {
+        let fs = lint_source(Path::new("crates/core/src/x.rs"), "fn f() { a.unwrap(); }");
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].finding.rule, "unwrap");
+        let line = fs[0].to_string();
+        assert!(line.contains("crates/core/src/x.rs:1"), "{line}");
+    }
+
+    #[test]
+    fn pagestore_scoping_applies_through_paths() {
+        let src = "fn f() { m.lock(); }";
+        assert_eq!(
+            lint_source(Path::new("crates/pagestore/src/buffer.rs"), src).len(),
+            1
+        );
+        assert!(lint_source(Path::new("crates/core/src/engine.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn crate_override_beats_path() {
+        let src = "// lint: crate(pagestore)\nfn f() { m.lock(); }";
+        let fs = lint_source(Path::new("crates/lint/tests/fixtures/x.rs"), src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].finding.rule, "raw-lock");
+    }
+}

@@ -1,0 +1,118 @@
+#![forbid(unsafe_code)]
+
+//! `boxagg-lint` — lint the workspace (or specific paths) against the
+//! repository rules R1–R5.
+//!
+//! ```text
+//! boxagg-lint [--deny-all] [--root DIR] [PATH...]
+//! ```
+//!
+//! With no `PATH`s, walks `crates/*/src/**/*.rs` and `src/**/*.rs`
+//! under `--root` (default: the workspace containing this binary's
+//! manifest, falling back to the current directory). Exits non-zero if
+//! any rule fires. `--deny-all` is the explicit CI spelling of the
+//! default deny-everything behavior.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use boxagg_lint::{lint_file, lint_workspace, FileFinding, RULE_KEYS};
+
+const USAGE: &str = "usage: boxagg-lint [--deny-all] [--list-rules] [--root DIR] [PATH...]";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--deny-all" => {}
+            "--list-rules" => {
+                for rule in RULE_KEYS {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(dir) => root = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+
+    let result = if paths.is_empty() {
+        let root = root.unwrap_or_else(default_root);
+        lint_workspace(&root)
+    } else {
+        lint_paths(&paths)
+    };
+    let findings = match result {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("boxagg-lint: i/o error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("boxagg-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("boxagg-lint: {} violation(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest when the
+/// binary runs via `cargo run`, else the current directory.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    match manifest.parent().and_then(Path::parent) {
+        Some(ws) if ws.join("Cargo.toml").is_file() => ws.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
+}
+
+fn lint_paths(paths: &[PathBuf]) -> std::io::Result<Vec<FileFinding>> {
+    let mut out = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            let mut stack = vec![p.clone()];
+            while let Some(dir) = stack.pop() {
+                let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+                    .filter_map(|e| e.ok().map(|e| e.path()))
+                    .collect();
+                entries.sort();
+                for path in entries {
+                    if path.is_dir() {
+                        stack.push(path);
+                    } else if path.extension().is_some_and(|e| e == "rs") {
+                        out.extend(lint_file(&path)?);
+                    }
+                }
+            }
+        } else {
+            out.extend(lint_file(p)?);
+        }
+    }
+    Ok(out)
+}

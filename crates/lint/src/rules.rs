@@ -1,0 +1,549 @@
+//! Repository lint rules R1–R5 over the token stream.
+//!
+//! | key               | rule                                                        |
+//! |-------------------|-------------------------------------------------------------|
+//! | `unwrap`          | R1: no bare `.unwrap()` in non-test code                    |
+//! | `expect-empty`    | R1: no `.expect("")` / blank-message expect in non-test code|
+//! | `panic`           | R1: no `panic!` in non-test code                            |
+//! | `unsafe`          | R2: no `unsafe` anywhere (audited allow-list only)          |
+//! | `raw-lock`        | R3: `pagestore` must lock through `RankedMutex::acquire`    |
+//! | `codec-roundtrip` | R4: codec files need a `*round_trip*` test                  |
+//! | `todo`            | R5: no `todo!` / `unimplemented!` in committed code         |
+//! | `dbg`             | R5: no `dbg!` in committed code                             |
+//! | `bad-allow`       | meta: malformed / reason-less / unknown allow directive     |
+//!
+//! Suppression: `// lint: allow(<rule>) -- <reason>` on the same line or
+//! the line directly above a finding. The reason is mandatory.
+
+use std::ops::Range;
+
+use crate::lexer::{AllowDirective, Scanned, Token, TokenKind};
+
+/// Every suppressible rule key, for directive validation.
+pub const RULE_KEYS: &[&str] = &[
+    "unwrap",
+    "expect-empty",
+    "panic",
+    "unsafe",
+    "raw-lock",
+    "codec-roundtrip",
+    "todo",
+    "dbg",
+];
+
+/// One rule violation in one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule key (see module table).
+    pub rule: &'static str,
+    /// Human-oriented explanation.
+    pub message: String,
+}
+
+/// Which crate a file belongs to, for crate-scoped rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileContext<'a> {
+    /// Crate name as spelled in the path (`pagestore`, `batree`, …).
+    pub crate_name: &'a str,
+}
+
+/// Runs every rule over one scanned file.
+pub fn check(scanned: &Scanned, ctx: FileContext<'_>) -> Vec<Finding> {
+    let tokens = &scanned.tokens;
+    let test_spans = test_spans(tokens);
+    let in_test = |idx: usize| test_spans.iter().any(|r| r.contains(&idx));
+
+    let mut raw = Vec::new();
+    rule_unwrap_expect_panic(tokens, &in_test, &mut raw);
+    rule_unsafe(tokens, &mut raw);
+    if ctx.crate_name == "pagestore" {
+        rule_raw_lock(tokens, &in_test, &mut raw);
+    }
+    if matches!(ctx.crate_name, "pagestore" | "batree" | "ecdf") {
+        rule_codec_roundtrip(tokens, &in_test, &mut raw);
+    }
+    rule_todo_dbg(tokens, &mut raw);
+
+    apply_allows(raw, &scanned.allows)
+}
+
+/// Filters findings through allow directives and reports bad directives.
+fn apply_allows(raw: Vec<Finding>, allows: &[AllowDirective]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for d in allows {
+        if d.malformed {
+            out.push(Finding {
+                line: d.line,
+                rule: "bad-allow",
+                message: "malformed lint directive; expected \
+                          `// lint: allow(<rule>) -- <reason>`"
+                    .to_string(),
+            });
+        } else if !RULE_KEYS.contains(&d.rule.as_str()) {
+            out.push(Finding {
+                line: d.line,
+                rule: "bad-allow",
+                message: format!("unknown rule `{}` in allow directive", d.rule),
+            });
+        } else if d.reason.is_empty() {
+            out.push(Finding {
+                line: d.line,
+                rule: "bad-allow",
+                message: format!(
+                    "allow({}) without a reason; append `-- <why this is sound>`",
+                    d.rule
+                ),
+            });
+        }
+    }
+    let suppressed = |f: &Finding| {
+        allows.iter().any(|d| {
+            !d.malformed
+                && !d.reason.is_empty()
+                && d.rule == f.rule
+                && (d.line == f.line || d.line + 1 == f.line)
+        })
+    };
+    out.extend(raw.into_iter().filter(|f| !suppressed(f)));
+    out.sort_by_key(|f| (f.line, f.rule));
+    out
+}
+
+/// Token index ranges covered by `#[cfg(test)]` items and `#[test]` /
+/// `#[should_panic]` functions.
+fn test_spans(tokens: &[Token]) -> Vec<Range<usize>> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some((attr_end, is_test)) = parse_attribute(tokens, i) {
+            if is_test {
+                // Skip any further attributes on the same item.
+                let mut j = attr_end;
+                while let Some((next_end, _)) = parse_attribute(tokens, j) {
+                    j = next_end;
+                }
+                // Find the item's opening brace (or a `;` for brace-less
+                // items) and skip to the matching close.
+                let mut k = j;
+                while k < tokens.len() && !tokens[k].is_punct('{') && !tokens[k].is_punct(';') {
+                    k += 1;
+                }
+                if k < tokens.len() && tokens[k].is_punct('{') {
+                    let mut depth = 0usize;
+                    let mut end = k;
+                    while end < tokens.len() {
+                        if tokens[end].is_punct('{') {
+                            depth += 1;
+                        } else if tokens[end].is_punct('}') {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        end += 1;
+                    }
+                    spans.push(i..end + 1);
+                    i = end + 1;
+                    continue;
+                }
+                spans.push(i..k + 1);
+                i = k + 1;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// If an attribute (`#[...]` or `#![...]`) starts at `i`, returns its
+/// exclusive end index and whether it marks test-only code.
+fn parse_attribute(tokens: &[Token], i: usize) -> Option<(usize, bool)> {
+    if !tokens.get(i)?.is_punct('#') {
+        return None;
+    }
+    let mut j = i + 1;
+    if tokens.get(j)?.is_punct('!') {
+        j += 1;
+    }
+    if !tokens.get(j)?.is_punct('[') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut idents: Vec<&str> = Vec::new();
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                j += 1;
+                break;
+            }
+        } else if let Some(id) = t.ident() {
+            idents.push(id);
+        }
+        j += 1;
+    }
+    let negated = idents.contains(&"not");
+    let is_test = !negated
+        && ((idents.first() == Some(&"cfg") && idents.contains(&"test"))
+            || idents.first() == Some(&"test")
+            || idents.first() == Some(&"should_panic"));
+    Some((j, is_test))
+}
+
+/// R1: `.unwrap()`, blank-message `.expect(...)`, and `panic!` outside
+/// test code.
+fn rule_unwrap_expect_panic(
+    tokens: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test(i) {
+            continue;
+        }
+        if t.is_punct('.')
+            && tokens.get(i + 1).is_some_and(|t| t.is_ident("unwrap"))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            out.push(Finding {
+                line: tokens[i + 1].line,
+                rule: "unwrap",
+                message: "bare `.unwrap()` in non-test code; propagate a `Result`, \
+                          use `.expect(\"<invariant>\")`, or justify with \
+                          `// lint: allow(unwrap) -- <invariant>`"
+                    .to_string(),
+            });
+        }
+        if t.is_punct('.')
+            && tokens.get(i + 1).is_some_and(|t| t.is_ident("expect"))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
+            && matches!(
+                tokens.get(i + 3).map(|t| &t.kind),
+                Some(TokenKind::Str { blank: true })
+            )
+        {
+            out.push(Finding {
+                line: tokens[i + 1].line,
+                rule: "expect-empty",
+                message: "`.expect(\"\")` with a blank message; state the violated \
+                          invariant in the message"
+                    .to_string(),
+            });
+        }
+        if t.is_ident("panic") && tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            out.push(Finding {
+                line: t.line,
+                rule: "panic",
+                message: "`panic!` in non-test code; return an `Error`, use a \
+                          descriptive `assert!`, or justify with \
+                          `// lint: allow(panic) -- <reason>`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// R2: `unsafe` anywhere (the audited allow-list is the set of
+/// `lint: allow(unsafe)` annotations, currently empty).
+fn rule_unsafe(tokens: &[Token], out: &mut Vec<Finding>) {
+    for t in tokens {
+        if t.is_ident("unsafe") {
+            out.push(Finding {
+                line: t.line,
+                rule: "unsafe",
+                message: "`unsafe` outside the audited allow-list; if genuinely \
+                          required, annotate `// lint: allow(unsafe) -- <audit>`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// R3: in `pagestore`, every lock acquisition must go through
+/// `RankedMutex::acquire`; raw `.lock()` / `.try_lock()` (and any
+/// `RwLock`, which the wrapper does not cover yet) are rejected.
+fn rule_raw_lock(tokens: &[Token], in_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test(i) {
+            continue;
+        }
+        if t.is_punct('.')
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.is_ident("lock") || t.is_ident("try_lock"))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            out.push(Finding {
+                line: tokens[i + 1].line,
+                rule: "raw-lock",
+                message: "raw mutex acquisition in `pagestore`; go through \
+                          `RankedMutex::acquire` so lock ordering is rank-checked"
+                    .to_string(),
+            });
+        }
+        if t.is_ident("RwLock") {
+            out.push(Finding {
+                line: t.line,
+                rule: "raw-lock",
+                message: "`RwLock` in `pagestore` is not covered by `RankedMutex`; \
+                          extend the rank-checked wrapper before introducing one"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// R4: a file declaring both `fn encode*` and `fn decode*` (a page
+/// codec) must carry a `*round_trip*` test.
+fn rule_codec_roundtrip(tokens: &[Token], in_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
+    let mut encode_line = None;
+    let mut decode_line = None;
+    let mut has_round_trip_test = false;
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).and_then(Token::ident) else {
+            continue;
+        };
+        if in_test(i) {
+            if name.contains("round_trip") || name.contains("roundtrip") {
+                has_round_trip_test = true;
+            }
+        } else if name == "encode" || name.starts_with("encode_") {
+            encode_line.get_or_insert(tokens[i + 1].line);
+        } else if name == "decode" || name.starts_with("decode_") {
+            decode_line.get_or_insert(tokens[i + 1].line);
+        }
+    }
+    if let (Some(_), Some(line)) = (encode_line, decode_line) {
+        if !has_round_trip_test {
+            out.push(Finding {
+                line,
+                rule: "codec-roundtrip",
+                message: "page codec (declares `fn encode*` and `fn decode*`) without \
+                          a `*round_trip*` test in this file; add one or justify with \
+                          `// lint: allow(codec-roundtrip) -- <reason>`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// R5: no `todo!` / `unimplemented!` / `dbg!` anywhere, test code
+/// included.
+fn rule_todo_dbg(tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            continue;
+        }
+        if t.is_ident("todo") || t.is_ident("unimplemented") {
+            out.push(Finding {
+                line: t.line,
+                rule: "todo",
+                message: "unfinished-code marker committed; implement it or return \
+                          an explicit error"
+                    .to_string(),
+            });
+        } else if t.is_ident("dbg") {
+            out.push(Finding {
+                line: t.line,
+                rule: "dbg",
+                message: "`dbg!` committed; remove the debugging aid".to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn lint(src: &str, crate_name: &str) -> Vec<Finding> {
+        check(&scan(src), FileContext { crate_name })
+    }
+
+    fn rules(src: &str, crate_name: &str) -> Vec<&'static str> {
+        lint(src, crate_name).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_flagged_outside_tests_only() {
+        let src = "
+            fn lib() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { y.unwrap(); }
+            }
+        ";
+        let fs = lint(src, "core");
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "unwrap");
+        assert_eq!(fs[0].line, 2);
+    }
+
+    #[test]
+    fn test_fn_outside_cfg_test_is_exempt() {
+        let src = "
+            #[test]
+            fn t() { y.unwrap(); }
+            #[should_panic(expected = \"boom\")]
+            fn s() { z.unwrap(); panic!(\"boom\"); }
+            fn lib() { w.unwrap(); }
+        ";
+        let fs = lint(src, "core");
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].line, 6);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_span() {
+        let src = "
+            #[cfg(not(test))]
+            fn lib() { x.unwrap(); }
+        ";
+        assert_eq!(rules(src, "core"), vec!["unwrap"]);
+    }
+
+    #[test]
+    fn expect_rules() {
+        assert_eq!(
+            rules("fn f() { x.expect(\"\"); }", "core"),
+            vec!["expect-empty"]
+        );
+        assert_eq!(
+            rules("fn f() { x.expect(\"   \"); }", "core"),
+            vec!["expect-empty"]
+        );
+        assert!(rules("fn f() { x.expect(\"why\"); }", "core").is_empty());
+    }
+
+    #[test]
+    fn panic_and_todo_rules() {
+        assert_eq!(rules("fn f() { panic!(\"x\"); }", "core"), vec!["panic"]);
+        assert_eq!(rules("fn f() { todo!(); }", "core"), vec!["todo"]);
+        assert_eq!(rules("fn f() { unimplemented!(); }", "core"), vec!["todo"]);
+        assert_eq!(rules("fn f() { dbg!(x); }", "core"), vec!["dbg"]);
+        // R5 applies inside tests too.
+        assert_eq!(
+            rules("#[cfg(test)] mod t { fn f() { dbg!(x); } }", "core"),
+            vec!["dbg"]
+        );
+        // `assert!` and `unreachable!` are not covered by R1/R5.
+        assert!(rules("fn f() { assert!(x); unreachable!() }", "core").is_empty());
+    }
+
+    #[test]
+    fn unsafe_flagged_everywhere() {
+        assert_eq!(rules("fn f() { unsafe { * p } }", "core"), vec!["unsafe"]);
+        assert_eq!(
+            rules("#[cfg(test)] mod t { unsafe fn g() {} }", "core"),
+            vec!["unsafe"]
+        );
+    }
+
+    #[test]
+    fn raw_lock_only_in_pagestore() {
+        let src = "fn f() { let g = m.lock(); let h = m.try_lock(); }";
+        assert_eq!(rules(src, "pagestore"), vec!["raw-lock", "raw-lock"]);
+        assert!(rules(src, "core").is_empty());
+        assert_eq!(
+            rules("use std::sync::RwLock;", "pagestore"),
+            vec!["raw-lock"]
+        );
+        // acquire() through the wrapper passes.
+        assert!(rules("fn f() { let g = m.acquire(); }", "pagestore").is_empty());
+    }
+
+    #[test]
+    fn codec_roundtrip_rule() {
+        let codec = "
+            impl N {
+                fn encode(&self) {}
+                fn decode(b: &[u8]) {}
+            }
+        ";
+        assert_eq!(rules(codec, "batree"), vec!["codec-roundtrip"]);
+        assert!(rules(codec, "core").is_empty(), "scoped to codec crates");
+        let with_test = format!(
+            "{codec}
+             #[cfg(test)]
+             mod tests {{
+                 #[test]
+                 fn node_round_trip() {{}}
+             }}"
+        );
+        assert!(rules(&with_test, "batree").is_empty());
+        // encode alone (no decode) is not a codec.
+        assert!(rules("fn encode(&self) {}", "batree").is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses_with_reason_same_or_previous_line() {
+        let same = "fn f() { x.unwrap(); } // lint: allow(unwrap) -- index checked above";
+        assert!(lint(same, "core").is_empty());
+        let above = "
+            fn f() {
+                // lint: allow(unwrap) -- slice is non-empty by construction
+                x.unwrap();
+            }
+        ";
+        assert!(lint(above, "core").is_empty());
+        // Two lines above: not suppressed.
+        let far = "
+            fn f() {
+                // lint: allow(unwrap) -- too far away
+                let y = 1;
+                x.unwrap();
+            }
+        ";
+        assert_eq!(rules(far, "core"), vec!["unwrap"]);
+    }
+
+    #[test]
+    fn allow_without_reason_or_unknown_rule_is_an_error() {
+        let src = "
+            // lint: allow(unwrap)
+            fn f() { x.unwrap(); }
+        ";
+        assert_eq!(rules(src, "core"), vec!["bad-allow", "unwrap"]);
+        let src = "
+            // lint: allow(unwarp) -- typo
+            fn f() {}
+        ";
+        assert_eq!(rules(src, "core"), vec!["bad-allow"]);
+        let src = "
+            // lint: disallow everything
+            fn f() {}
+        ";
+        assert_eq!(rules(src, "core"), vec!["bad-allow"]);
+    }
+
+    #[test]
+    fn allow_does_not_suppress_other_rules() {
+        let src = "fn f() { panic!(\"x\"); } // lint: allow(unwrap) -- wrong rule";
+        assert_eq!(rules(src, "core"), vec!["panic"]);
+    }
+
+    #[test]
+    fn doc_comment_examples_are_ignored() {
+        let src = "
+            /// ```
+            /// tree.insert(p, v).unwrap();
+            /// ```
+            fn insert() {}
+        ";
+        assert!(lint(src, "batree").is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+//! Known-bad fixture: meta — allow directives must carry a reason.
+
+pub fn first(xs: &[u32]) -> u32 {
+    // lint: allow(unwrap)
+    *xs.first().unwrap()
+}
+
+pub fn second(xs: &[u32]) -> u32 {
+    // lint: allow(unwarp) -- typo in the rule name
+    *xs.get(1).unwrap()
+}

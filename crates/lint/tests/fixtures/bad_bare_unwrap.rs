@@ -1,0 +1,5 @@
+//! Known-bad fixture: R1 — bare `.unwrap()` in non-test library code.
+
+pub fn first_line(text: &str) -> &str {
+    text.lines().next().unwrap()
+}

@@ -1,0 +1,31 @@
+//! Known-bad fixture: R4 — a page codec with no round-trip test.
+// lint: crate(ecdf)
+
+pub struct Record {
+    pub key: f64,
+}
+
+impl Record {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.key.to_le_bytes());
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let arr: [u8; 8] = bytes.get(..8)?.try_into().ok()?;
+        Some(Self {
+            key: f64::from_le_bytes(arr),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_tests_encoding_one_way() {
+        let mut buf = Vec::new();
+        Record { key: 1.0 }.encode(&mut buf);
+        assert_eq!(buf.len(), 8);
+    }
+}

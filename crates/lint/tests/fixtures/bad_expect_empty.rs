@@ -1,0 +1,5 @@
+//! Known-bad fixture: R1 — `.expect("")` with a blank message.
+
+pub fn open(path: &str) -> std::fs::File {
+    std::fs::File::open(path).expect("")
+}

@@ -1,0 +1,8 @@
+//! Known-bad fixture: R1 — `panic!` in non-test library code.
+
+pub fn checked_div(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        panic!("division by zero");
+    }
+    a / b
+}

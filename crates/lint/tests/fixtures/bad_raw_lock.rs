@@ -1,0 +1,8 @@
+//! Known-bad fixture: R3 — raw mutex acquisition inside `pagestore`.
+// lint: crate(pagestore)
+
+use std::sync::Mutex;
+
+pub fn peek(m: &Mutex<u64>) -> u64 {
+    *m.lock().expect("peek never races a panicking holder")
+}

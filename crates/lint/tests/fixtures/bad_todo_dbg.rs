@@ -1,0 +1,18 @@
+//! Known-bad fixture: R5 — committed `todo!` / `unimplemented!` / `dbg!`.
+
+pub fn later() {
+    todo!("write this")
+}
+
+pub fn never() {
+    unimplemented!()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn even_tests_may_not_keep_dbg() {
+        let x = 2 + 2;
+        assert_eq!(dbg!(x), 4);
+    }
+}

@@ -1,0 +1,5 @@
+//! Known-bad fixture: R2 — `unsafe` outside the audited allow-list.
+
+pub fn reinterpret(x: &u64) -> &i64 {
+    unsafe { &*(x as *const u64 as *const i64) }
+}

@@ -1,0 +1,14 @@
+//! Known-good fixture: justified allow annotations suppress findings.
+// lint: crate(pagestore)
+
+use std::sync::Mutex;
+
+pub fn checked_index(xs: &[u32]) -> u32 {
+    // lint: allow(unwrap) -- slice verified non-empty two lines up
+    *xs.last().unwrap()
+}
+
+pub fn wrapper_internals(m: &Mutex<u32>) -> u32 {
+    // lint: allow(raw-lock) -- this fixture models RankedMutex's own internals
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

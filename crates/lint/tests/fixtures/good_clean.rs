@@ -1,0 +1,34 @@
+//! Known-good fixture: idiomatic library code that satisfies every rule.
+
+use std::fmt;
+
+/// Errors are propagated, not unwrapped.
+pub fn parse(s: &str) -> Result<u32, std::num::ParseIntError> {
+    let n: u32 = s.trim().parse()?;
+    Ok(n * 2)
+}
+
+/// `expect` with a meaningful message passes R1.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().expect("caller guarantees a non-empty slice")
+}
+
+/// Doc examples may unwrap freely:
+///
+/// ```
+/// parse("21").unwrap();
+/// ```
+pub fn documented(_f: &mut fmt::Formatter<'_>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap_and_panic() {
+        assert_eq!(parse("21").unwrap(), 42);
+        if parse("x").is_ok() {
+            panic!("parse accepted garbage");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Known-good fixture: a page codec with the round-trip test R4 wants.
+// lint: crate(batree)
+
+pub struct Header {
+    pub tag: u8,
+    pub count: u16,
+}
+
+impl Header {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.tag);
+        out.extend_from_slice(&self.count.to_le_bytes());
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let tag = *bytes.first()?;
+        let count = u16::from_le_bytes([*bytes.get(1)?, *bytes.get(2)?]);
+        Some(Self { tag, count })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trip() {
+        let h = Header { tag: 1, count: 7 };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        let back = Header::decode(&buf).unwrap();
+        assert_eq!(back.tag, 1);
+        assert_eq!(back.count, 7);
+    }
+}

@@ -1,0 +1,128 @@
+//! Integration tests: fixture corpus + full workspace sweep.
+//!
+//! The fixture corpus under `tests/fixtures/` is the linter's regression
+//! suite: every `bad_*.rs` file must produce at least one finding with the
+//! expected rule, every `good_*.rs` file must lint clean.  The final test
+//! runs the linter over the entire workspace, which is the same check CI
+//! performs via `cargo run -p boxagg-lint -- --deny-all`.
+
+use std::path::{Path, PathBuf};
+
+use boxagg_lint::{lint_file, lint_workspace};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn rules_for(name: &str) -> Vec<&'static str> {
+    let path = fixture(name);
+    let findings = lint_file(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    findings.iter().map(|f| f.finding.rule).collect()
+}
+
+fn assert_bad(name: &str, expected_rule: &str) {
+    let rules = rules_for(name);
+    assert!(
+        !rules.is_empty(),
+        "{name}: expected at least one [{expected_rule}] finding, got none"
+    );
+    assert!(
+        rules.iter().all(|r| *r == expected_rule),
+        "{name}: expected only [{expected_rule}] findings, got {rules:?}"
+    );
+}
+
+#[test]
+fn good_fixtures_are_clean() {
+    for name in [
+        "good_clean.rs",
+        "good_allowed_unwrap.rs",
+        "good_codec_round_trip.rs",
+    ] {
+        let rules = rules_for(name);
+        assert!(rules.is_empty(), "{name}: expected clean, got {rules:?}");
+    }
+}
+
+#[test]
+fn bad_bare_unwrap_fires_r1() {
+    assert_bad("bad_bare_unwrap.rs", "unwrap");
+}
+
+#[test]
+fn bad_expect_empty_fires_r1() {
+    assert_bad("bad_expect_empty.rs", "expect-empty");
+}
+
+#[test]
+fn bad_panic_fires_r1() {
+    assert_bad("bad_panic.rs", "panic");
+}
+
+#[test]
+fn bad_unsafe_fires_r2() {
+    assert_bad("bad_unsafe.rs", "unsafe");
+}
+
+#[test]
+fn bad_raw_lock_fires_r3() {
+    assert_bad("bad_raw_lock.rs", "raw-lock");
+}
+
+#[test]
+fn bad_codec_missing_round_trip_fires_r4() {
+    assert_bad("bad_codec_missing_round_trip.rs", "codec-roundtrip");
+}
+
+#[test]
+fn bad_todo_dbg_fires_r5() {
+    let rules = rules_for("bad_todo_dbg.rs");
+    assert!(
+        rules.contains(&"todo"),
+        "expected a [todo] finding, got {rules:?}"
+    );
+    assert!(
+        rules.contains(&"dbg"),
+        "expected a [dbg] finding (R5 applies inside tests too), got {rules:?}"
+    );
+    assert!(
+        rules.iter().all(|r| *r == "todo" || *r == "dbg"),
+        "expected only [todo]/[dbg] findings, got {rules:?}"
+    );
+}
+
+#[test]
+fn bad_allow_without_reason_is_rejected() {
+    // Both the reason-less directive and the unknown-rule directive must be
+    // flagged, and neither suppresses the unwrap it sits above.
+    let rules = rules_for("bad_allow_without_reason.rs");
+    assert_eq!(
+        rules.iter().filter(|r| **r == "bad-allow").count(),
+        2,
+        "expected two [bad-allow] findings, got {rules:?}"
+    );
+    assert_eq!(
+        rules.iter().filter(|r| **r == "unwrap").count(),
+        2,
+        "a malformed allow must not suppress the finding it targets: {rules:?}"
+    );
+}
+
+/// The acceptance gate: the workspace itself must lint clean.  This is the
+/// in-test twin of the CI step `cargo run -p boxagg-lint -- --deny-all`.
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let findings = lint_workspace(&root).expect("workspace walk succeeds");
+    if !findings.is_empty() {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        panic!("workspace has {} lint violation(s)", findings.len());
+    }
+}

@@ -16,6 +16,11 @@
 //! one shard lock. I/O statistics are atomic counters, so they still sum
 //! to the paper's single-pool accounting regardless of interleaving.
 //!
+//! Every lock is a [`RankedMutex`] in the order `allocator < shard <
+//! pager` (see [`crate::rank`] for the derivation); debug builds panic on
+//! any out-of-order acquisition, so a lock-order inversion cannot survive
+//! the test suite.
+//!
 //! With one shard (the default, [`BufferPool::new`]) the pool degenerates
 //! to exactly the paper's single global LRU: eviction order, and hence
 //! every I/O count, is byte-identical to a sequential implementation.
@@ -26,11 +31,11 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 use boxagg_common::error::{invalid_arg, Result};
 
 use crate::pager::{PageId, Pager};
+use crate::rank::{self, RankedMutex};
 
 /// Cumulative I/O statistics of a [`BufferPool`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -149,13 +154,13 @@ impl Shard {
 /// [`SharedStore`](crate::store::SharedStore), which wraps the pool in an
 /// [`Arc`](std::sync::Arc).
 pub struct BufferPool {
-    pager: Mutex<Box<dyn Pager>>,
+    pager: RankedMutex<Box<dyn Pager>>,
     page_size: usize,
     capacity: usize,
-    shards: Box<[Mutex<Shard>]>,
+    shards: Box<[RankedMutex<Shard>]>,
     /// `shards.len() - 1`; shard count is a power of two.
     shard_mask: u64,
-    alloc: Mutex<AllocState>,
+    alloc: RankedMutex<AllocState>,
     reads: AtomicU64,
     writes: AtomicU64,
     hits: AtomicU64,
@@ -194,28 +199,28 @@ impl BufferPool {
         assert!(capacity >= 1, "buffer pool needs at least one frame");
         let n = shards.max(1).next_power_of_two();
         let page_size = pager.page_size();
-        let shards: Vec<Mutex<Shard>> = (0..n)
+        let shards: Vec<RankedMutex<Shard>> = (0..n)
             .map(|i| {
                 // Split capacity as evenly as possible, at least one
                 // frame per shard.
                 let cap = (capacity / n + usize::from(i < capacity % n)).max(1);
-                Mutex::new(Shard::new(cap))
+                RankedMutex::new(rank::SHARD, "buffer shard", Shard::new(cap))
             })
             .collect();
         Self {
-            pager: Mutex::new(pager),
+            pager: RankedMutex::new(rank::PAGER, "pager", pager),
             page_size,
             capacity,
             shards: shards.into_boxed_slice(),
             shard_mask: (n - 1) as u64,
-            alloc: Mutex::new(AllocState::default()),
+            alloc: RankedMutex::new(rank::ALLOCATOR, "page allocator", AllocState::default()),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             hits: AtomicU64::new(0),
         }
     }
 
-    fn shard_for(&self, id: PageId) -> &Mutex<Shard> {
+    fn shard_for(&self, id: PageId) -> &RankedMutex<Shard> {
         // Fibonacci hashing spreads sequential page ids across shards.
         let h = id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
         &self.shards[(h & self.shard_mask) as usize]
@@ -233,7 +238,7 @@ impl BufferPool {
 
     /// Total pages allocated in the underlying pager (index size metric).
     pub fn allocated_pages(&self) -> u64 {
-        self.pager.lock().unwrap().num_pages()
+        self.pager.acquire().num_pages()
     }
 
     /// Buffer capacity in pages (summed across shards).
@@ -263,12 +268,12 @@ impl BufferPool {
     /// The page is *not* fetched into the buffer; it is expected to be
     /// written next.
     pub fn allocate(&self) -> Result<PageId> {
-        let mut alloc = self.alloc.lock().unwrap();
+        let mut alloc = self.alloc.acquire();
         if let Some(id) = alloc.free_pages.pop() {
             alloc.freed.remove(&id);
             return Ok(id);
         }
-        self.pager.lock().unwrap().allocate()
+        self.pager.acquire().allocate()
     }
 
     /// Returns page `id` to the free list for reuse. The caller guarantees
@@ -282,22 +287,22 @@ impl BufferPool {
         if id.is_null() {
             return Err(invalid_arg("free of the NULL page"));
         }
-        let mut alloc = self.alloc.lock().unwrap();
+        let mut alloc = self.alloc.acquire();
         if !alloc.freed.insert(id) {
             return Err(invalid_arg(format!("double free of page {id:?}")));
         }
         alloc.free_pages.push(id);
         // Hold the alloc lock while dropping the cached frame so a
         // concurrent re-allocation cannot observe the stale frame.
-        self.shard_for(id).lock().unwrap().drop_frame(id);
+        self.shard_for(id).acquire().drop_frame(id);
         Ok(())
     }
 
     /// Pages allocated in the pager minus freed pages — the live-size
     /// metric used by the index-size experiments (Fig. 9a).
     pub fn live_pages(&self) -> u64 {
-        let freed = self.alloc.lock().unwrap().free_pages.len() as u64;
-        self.pager.lock().unwrap().num_pages() - freed
+        let freed = self.alloc.acquire().free_pages.len() as u64;
+        self.pager.acquire().num_pages() - freed
     }
 
     /// Evicts `shard`'s LRU frame, writing it back first if dirty. On a
@@ -310,8 +315,7 @@ impl BufferPool {
         let id = shard.frames[victim].id;
         if shard.frames[victim].dirty {
             self.pager
-                .lock()
-                .unwrap()
+                .acquire()
                 .write_page(id, &shard.frames[victim].data)?;
             self.writes.fetch_add(1, Ordering::Relaxed);
             shard.frames[victim].dirty = false;
@@ -351,8 +355,7 @@ impl BufferPool {
         if fetch {
             let res = self
                 .pager
-                .lock()
-                .unwrap()
+                .acquire()
                 .read_page(id, &mut shard.frames[idx].data);
             if let Err(e) = res {
                 // Keep the unused frame on the free list.
@@ -378,7 +381,7 @@ impl BufferPool {
     /// pool (directly or through a [`SharedStore`](crate::store::SharedStore)
     /// handle), or it will deadlock.
     pub fn with_page<T>(&self, id: PageId, f: impl FnOnce(&[u8]) -> T) -> Result<T> {
-        let mut shard = self.shard_for(id).lock().unwrap();
+        let mut shard = self.shard_for(id).acquire();
         let idx = self.frame_for(&mut shard, id, true)?;
         Ok(f(&shard.frames[idx].data))
     }
@@ -393,7 +396,7 @@ impl BufferPool {
             bytes.len(),
             self.page_size
         );
-        let mut shard = self.shard_for(id).lock().unwrap();
+        let mut shard = self.shard_for(id).acquire();
         let idx = self.frame_for(&mut shard, id, false)?;
         let data = &mut shard.frames[idx].data;
         data[..bytes.len()].copy_from_slice(bytes);
@@ -405,28 +408,24 @@ impl BufferPool {
     /// Writes every dirty page back to the pager and syncs it.
     pub fn flush_all(&self) -> Result<()> {
         for shard in self.shards.iter() {
-            let mut shard = shard.lock().unwrap();
+            let mut shard = shard.acquire();
             for idx in 0..shard.frames.len() {
                 if shard.frames[idx].dirty && !shard.frames[idx].id.is_null() {
                     let id = shard.frames[idx].id;
                     self.pager
-                        .lock()
-                        .unwrap()
+                        .acquire()
                         .write_page(id, &shard.frames[idx].data)?;
                     self.writes.fetch_add(1, Ordering::Relaxed);
                     shard.frames[idx].dirty = false;
                 }
             }
         }
-        self.pager.lock().unwrap().sync()
+        self.pager.acquire().sync()
     }
 
     /// Number of pages currently resident in the buffer.
     pub fn resident(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().unwrap().map.len())
-            .sum()
+        self.shards.iter().map(|s| s.acquire().map.len()).sum()
     }
 }
 

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 //! Paged storage substrate for the `boxagg` index structures.
@@ -14,14 +16,19 @@
 //!   [`pager::FilePager`] for real files),
 //! * [`buffer`] — the [`buffer::BufferPool`]: LRU caching,
 //!   dirty write-back, [`buffer::IoStats`],
+//! * [`rank`] — [`rank::RankedMutex`], the rank-checked lock wrapper
+//!   every mutex in this crate goes through (debug builds panic on
+//!   out-of-order acquisition; see the module docs for the lock order),
 //! * [`store`] — [`store::SharedStore`], a cheaply-clonable
 //!   handle letting many trees (e.g. a BA-tree and its recursive border
 //!   trees) share one pool so space and I/O are accounted jointly.
 
 pub mod buffer;
 pub mod pager;
+pub mod rank;
 pub mod store;
 
 pub use buffer::{BufferPool, IoStats};
 pub use pager::{FilePager, MemPager, PageId, Pager, DEFAULT_PAGE_SIZE};
+pub use rank::{RankedGuard, RankedMutex};
 pub use store::{Backing, SharedStore, StoreConfig};

@@ -21,7 +21,7 @@ fn sort_tile<L: LeafPayload>(objs: &mut [LeafEntry<L>], dim: usize, axis: usize,
     objs.sort_by(|a, b| {
         let ca = a.rect.center().get(axis);
         let cb = b.rect.center().get(axis);
-        ca.partial_cmp(&cb).unwrap()
+        ca.total_cmp(&cb)
     });
     if axis + 1 >= dim {
         return;
@@ -56,6 +56,13 @@ impl<L: LeafPayload> RStarTree<L> {
         }
         if objects.iter().any(|(r, _, _)| r.dim() != dim) {
             return Err(invalid_arg("object dimensionality mismatch"));
+        }
+        // NaN/infinite coordinates would silently corrupt the STR sort
+        // order; reject them before any pages are allocated.
+        if let Some((r, _, _)) = objects.iter().find(|(r, _, _)| !r.is_finite()) {
+            return Err(invalid_arg(format!(
+                "object {r:?} has a non-finite coordinate"
+            )));
         }
         let params = RParams {
             page_size: store.page_size(),
@@ -150,6 +157,26 @@ mod tests {
         let x = rnd(s) * (1.0 - side);
         let y = rnd(s) * (1.0 - side);
         Rect::from_bounds(&[(x, x + rnd(s) * side), (y, y + rnd(s) * side)])
+    }
+
+    #[test]
+    fn bulk_load_rejects_non_finite_coordinates() {
+        // Regression: a NaN coordinate used to corrupt the STR sort order
+        // (producing a structurally wrong tree); it must error before any
+        // pages are built.
+        let mut s = 5u64;
+        let mut objs: Vec<(Rect, f64, ())> =
+            (0..20).map(|_| (rand_rect(&mut s, 0.1), 1.0, ())).collect();
+        objs.push((
+            Rect::degenerate(boxagg_common::geom::Point::new(&[f64::NAN, 0.5])),
+            1.0,
+            (),
+        ));
+        let store = SharedStore::open(&StoreConfig::small(512, 64)).unwrap();
+        match RStarTree::bulk_load(store, 2, 0, objs) {
+            Err(err) => assert!(err.to_string().contains("non-finite"), "got: {err}"),
+            Ok(_) => panic!("bulk_load must reject non-finite coordinates"),
+        }
     }
 
     #[test]

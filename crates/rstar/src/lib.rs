@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 //! # boxagg-rstar — R*-tree and aggregate R-tree (aR-tree) baselines

@@ -213,7 +213,7 @@ impl<L: LeafPayload> Node<L> {
 
 /// Summary (MBR, aggregate, count) of a node, used to build its parent
 /// entry.
-pub fn summarize<L: LeafPayload>(node: &Node<L>) -> (Rect, f64, u64) {
+pub(crate) fn summarize<L: LeafPayload>(node: &Node<L>) -> (Rect, f64, u64) {
     match node {
         Node::Leaf(entries) => {
             assert!(!entries.is_empty(), "cannot summarize an empty node");

@@ -85,7 +85,7 @@ fn sort_entries<E: HasRect>(entries: &mut [E], axis: usize, by_high: bool) {
         } else {
             (a.rect().low().get(axis), b.rect().low().get(axis))
         };
-        ka.partial_cmp(&kb).unwrap()
+        ka.total_cmp(&kb)
     });
 }
 

@@ -182,6 +182,11 @@ impl<L: LeafPayload> RStarTree<L> {
                 self.dim
             )));
         }
+        if !rect.is_finite() {
+            return Err(invalid_arg(format!(
+                "object {rect:?} has a non-finite coordinate"
+            )));
+        }
         self.path_buffer.clear();
         let entry = LeafEntry { rect, agg, payload };
         let depth = self.height - 1;
@@ -469,6 +474,7 @@ fn choose_subtree(entries: &[IndexEntry], rect: &Rect, children_are_leaves: bool
 #[cfg(test)]
 mod tests {
     use super::*;
+    use boxagg_common::geom::Point;
     use boxagg_pagestore::StoreConfig;
 
     fn rnd(state: &mut u64) -> f64 {
@@ -489,6 +495,24 @@ mod tests {
     fn new_tree(page: usize) -> RStarTree<()> {
         let store = SharedStore::open(&StoreConfig::small(page, 128)).unwrap();
         RStarTree::create(store, 2, 0).unwrap()
+    }
+
+    #[test]
+    fn insert_rejects_non_finite_coordinates() {
+        // Regression: NaN coordinates used to be accepted and silently
+        // corrupt the child-choice ordering; they must error up front.
+        let mut t = new_tree(512);
+        let bad = Rect::degenerate(Point::new(&[f64::NAN, 0.5]));
+        let err = t.insert(bad, 1.0, ()).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "got: {err}");
+        let inf = Rect::degenerate(Point::new(&[0.5, f64::INFINITY]));
+        assert!(t.insert(inf, 1.0, ()).is_err());
+        assert!(t.is_empty(), "rejected inserts must not change the tree");
+        // The tree stays fully usable.
+        t.insert(Rect::degenerate(Point::new(&[0.5, 0.5])), 2.0, ())
+            .unwrap();
+        let q = Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]);
+        assert_eq!(t.box_sum(&q).unwrap().sum, 2.0);
     }
 
     #[test]

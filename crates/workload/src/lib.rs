@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 //! # boxagg-workload — datasets and query workloads of the §6 evaluation
