@@ -65,8 +65,18 @@ pub(crate) struct Ctx<'a> {
 }
 
 impl<'a> Ctx<'a> {
+    /// Shared read through the store's decoded-node cache: warm
+    /// traversals skip `Node::decode` entirely. Byte-level I/O
+    /// accounting is unchanged (see `SharedStore::read_node`).
+    fn read_shared<V: AggValue>(&self, id: PageId, dim: usize) -> Result<std::sync::Arc<Node<V>>> {
+        self.store.read_node(id, |bytes| Node::decode(bytes, dim))
+    }
+
+    /// Owned read for mutation paths: a deep clone of the shared decode
+    /// (cloning is cheaper than re-parsing bytes on a cache hit).
     fn read<V: AggValue>(&self, id: PageId, dim: usize) -> Result<Node<V>> {
-        self.store.with_page(id, |bytes| Node::decode(bytes, dim))?
+        let shared: std::sync::Arc<Node<V>> = self.read_shared(id, dim)?;
+        Ok((*shared).clone())
     }
 
     /// Writes a node to its page (bulk loader entry point).
@@ -336,11 +346,11 @@ fn query_rec<V: AggValue>(
     node_id: PageId,
     q: &Point,
 ) -> Result<V> {
-    let node: Node<V> = ctx.read(node_id, dim)?;
-    match node {
+    let node = ctx.read_shared::<V>(node_id, dim)?;
+    match &*node {
         Node::Leaf(entries) => {
             let mut acc = V::zero();
-            for (p, v) in &entries {
+            for (p, v) in entries {
                 if p.dominated_by(q) {
                     acc.add_assign(v);
                 }
@@ -348,7 +358,7 @@ fn query_rec<V: AggValue>(
             Ok(acc)
         }
         Node::Index(records) => {
-            let i = find_owner(&records, q, space)
+            let i = find_owner(records, q, space)
                 .ok_or_else(|| invalid_arg(format!("query point {q:?} outside every record")))?;
             let r = &records[i];
             let mut acc = r.subtotal.clone();
@@ -389,9 +399,9 @@ pub(crate) fn tree_enumerate<V: AggValue>(
     if root.is_null() {
         return Ok(());
     }
-    let node: Node<V> = ctx.read(root, dim)?;
-    match node {
-        Node::Leaf(mut entries) => out.append(&mut entries),
+    let node = ctx.read_shared::<V>(root, dim)?;
+    match &*node {
+        Node::Leaf(entries) => out.extend(entries.iter().cloned()),
         Node::Index(records) => {
             for r in records {
                 tree_enumerate::<V>(ctx, dim, r.child, out)?;
@@ -407,13 +417,13 @@ pub(crate) fn tree_free<V: AggValue>(ctx: Ctx<'_>, dim: usize, root: PageId) -> 
     if root.is_null() {
         return Ok(());
     }
-    let node: Node<V> = ctx.read(root, dim)?;
-    if let Node::Index(records) = node {
+    let node = ctx.read_shared::<V>(root, dim)?;
+    if let Node::Index(records) = &*node {
         for r in records {
             tree_free::<V>(ctx, dim, r.child)?;
-            for b in r.borders {
+            for b in &r.borders {
                 if let BorderRef::Tree(id) = b {
-                    tree_free::<V>(ctx, dim - 1, id)?;
+                    tree_free::<V>(ctx, dim - 1, *id)?;
                 }
             }
         }
@@ -878,10 +888,10 @@ pub(crate) fn check_consistency(
         rect: &Rect,
         probes: &mut Vec<Point>,
     ) -> Result<()> {
-        let node: Node<f64> = ctx.read(node_id, dim)?;
-        let records = match node {
+        let node = ctx.read_shared::<f64>(node_id, dim)?;
+        let records = match &*node {
             Node::Leaf(entries) => {
-                for (p, _) in &entries {
+                for (p, _) in entries {
                     if !rect.contains_point(p) {
                         return Err(invalid_arg(format!(
                             "leaf point {p:?} escapes its region {rect:?}"
@@ -892,7 +902,7 @@ pub(crate) fn check_consistency(
             }
             Node::Index(rs) => rs,
         };
-        for r in &records {
+        for r in records {
             probes.push(r.rect.center());
             probes.push(Point::from_fn(dim, |i| {
                 let hi = r.rect.high().get(i);

@@ -469,6 +469,37 @@ mod tests {
     }
 
     #[test]
+    fn cached_nodes_reflect_same_leaf_updates() {
+        // Decoded-node cache invalidation, end to end: query a leaf so
+        // its decode is cached, insert into that same leaf (the write
+        // bumps the page generation), and the next query must see the
+        // new point — a stale cached decode would drop it.
+        let mut t = small_tree(2, 512);
+        t.insert(Point::new(&[0.4, 0.4]), 1.0).unwrap();
+        let q = Point::new(&[0.9, 0.9]);
+        assert_eq!(t.dominance_sum(&q).unwrap(), 1.0);
+        let warm = t.store().stats();
+        assert!(warm.decode_misses > 0, "first query decodes the root leaf");
+        // Same leaf (single-node tree), repeatedly: query → insert →
+        // query, checking the running sum after every update.
+        for i in 2..=20u64 {
+            t.insert(Point::new(&[0.4 + (i as f64) * 0.01, 0.4]), 1.0)
+                .unwrap();
+            assert_eq!(
+                t.dominance_sum(&q).unwrap(),
+                i as f64,
+                "query after insert #{i} must reflect the update"
+            );
+        }
+        let st = t.store().stats();
+        assert!(st.decode_hits > 0, "warm queries hit the decoded cache");
+        assert!(
+            st.decode_invalidations > 0,
+            "leaf writes must bump the generation"
+        );
+    }
+
+    #[test]
     fn destroy_frees_all_pages() {
         let store = SharedStore::open(&StoreConfig::small(256, 64)).unwrap();
         let baseline = store.live_pages();

@@ -84,11 +84,13 @@ fn main() -> boxagg_common::error::Result<()> {
     // --- 2. page size sweep on the BAT scheme ---------------------------
     let mut rows = Vec::new();
     for page_size in [2048usize, 4096, 8192, 16384] {
+        let buffer_pages = (args.buffer_mb * 1024 * 1024 / page_size).max(1);
         let cfg = StoreConfig {
             page_size,
-            buffer_pages: (args.buffer_mb * 1024 * 1024 / page_size).max(1),
+            buffer_pages,
             backing: Default::default(),
             parallelism: 1,
+            node_cache_pages: buffer_pages,
         };
         let store = SharedStore::open(&cfg)?;
         let mut engine = SimpleBoxSum::batree_in(args.space(), store.clone())?;

@@ -1,0 +1,327 @@
+//! **Hot-path microbenchmark** — warm-cache query throughput with the
+//! decoded-node cache on vs off.
+//!
+//! The decoded-node cache ([`boxagg_pagestore::NodeCache`]) sits above
+//! the byte buffer pool and skips the per-access `Node::decode` when a
+//! page's decode is still current. This binary quantifies that saving
+//! on the two hot read paths — dominance-sum lookups and full box-sum
+//! queries — for the `BAT`, `ECDFu` and `ECDFq` schemes (2-d, single
+//! thread, warm cache), and verifies the contract along the way:
+//!
+//! * answers are bit-identical with the cache on or off, and
+//! * the byte-level I/O trace (`reads`, `writes`, `hits`) is unchanged
+//!   (a decoded hit still touches the buffer pool).
+//!
+//! The full run writes `BENCH_PR3.json` into the working directory.
+//! `--smoke` shrinks the workload to CI scale, asserts the identity
+//! checks plus a nonzero decoded-hit count, and writes nothing.
+//!
+//! Usage: `cargo run --release -p boxagg-bench --bin hotpath -- \
+//!     [--n 100000] [--queries 1000] [--smoke]`
+
+use std::time::Instant;
+
+use boxagg_bench::{fmt_u64, print_table, Args};
+use boxagg_common::geom::{Point, Rect};
+use boxagg_common::traits::DominanceSumIndex;
+use boxagg_core::engine::SimpleBoxSum;
+use boxagg_ecdf::BorderPolicy;
+use boxagg_pagestore::SharedStore;
+use boxagg_workload::gen_queries;
+
+struct SchemeResult {
+    name: &'static str,
+    box_qps_on: f64,
+    box_qps_off: f64,
+    dom_qps_on: f64,
+    dom_qps_off: f64,
+    decode_hits: u64,
+    decode_misses: u64,
+    decode_invalidations: u64,
+}
+
+impl SchemeResult {
+    fn box_speedup(&self) -> f64 {
+        self.box_qps_on / self.box_qps_off
+    }
+
+    fn dom_speedup(&self) -> f64 {
+        self.dom_qps_on / self.dom_qps_off
+    }
+
+    fn hit_rate(&self) -> f64 {
+        let total = self.decode_hits + self.decode_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.decode_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Benchmarks one scheme. `build(cache_on)` constructs a fresh engine
+/// plus its store with the decoded-node cache enabled or disabled; both
+/// variants then run the identical warm workload.
+fn bench_scheme<I, F>(
+    name: &'static str,
+    build: F,
+    queries: &[Rect],
+    repeats: usize,
+    smoke: bool,
+) -> SchemeResult
+where
+    I: DominanceSumIndex<f64> + Send + 'static,
+    F: Fn(bool) -> (SimpleBoxSum<I>, SharedStore),
+{
+    let (mut on, store_on) = build(true);
+    let (mut off, store_off) = build(false);
+    assert_eq!(
+        store_off.stats().decode_hits,
+        0,
+        "disabled cache must never record a hit"
+    );
+
+    // Warm both byte buffers and the decoded cache, and pin the
+    // reference answers.
+    let want: Vec<u64> = queries
+        .iter()
+        .map(|q| on.query(q).expect("query").to_bits())
+        .collect();
+    for (q, &bits) in queries.iter().zip(&want) {
+        assert_eq!(
+            off.query(q).expect("query").to_bits(),
+            bits,
+            "{name}: cache-off answer differs from cache-on"
+        );
+    }
+    store_on.reset_stats();
+    store_off.reset_stats();
+
+    // Timed warm box-sum passes, identical sequences on both stores.
+    let time_box = |engine: &mut SimpleBoxSum<I>, want: &[u64]| {
+        let t0 = Instant::now();
+        for _ in 0..repeats {
+            for (q, &bits) in queries.iter().zip(want) {
+                let got = engine.query(q).expect("query");
+                assert_eq!(got.to_bits(), bits, "{name}: warm answer drifted");
+            }
+        }
+        (repeats * queries.len()) as f64 / t0.elapsed().as_secs_f64()
+    };
+    let box_qps_on = time_box(&mut on, &want);
+    let box_qps_off = time_box(&mut off, &want);
+
+    // Byte-level identity: the decoded cache must not change a single
+    // buffer-pool counter over the identical query sequence.
+    let io_on = store_on.stats();
+    let io_off = store_off.stats();
+    assert_eq!(
+        (io_on.reads, io_on.writes, io_on.hits),
+        (io_off.reads, io_off.writes, io_off.hits),
+        "{name}: byte-level I/O must be identical with the cache on or off"
+    );
+
+    // Timed warm dominance-sum passes on one underlying index (the
+    // mask-0 tree; every query's closed high corner is its probe).
+    let points: Vec<Point> = queries
+        .iter()
+        .map(|q| Point::from_fn(2, |i| q.high().get(i)))
+        .collect();
+    let time_dom = |engine: &mut SimpleBoxSum<I>| {
+        let idx = &mut engine.indexes_mut()[0];
+        let sums: Vec<u64> = points
+            .iter()
+            .map(|p| idx.dominance_sum(p).expect("dominance").to_bits())
+            .collect();
+        let t0 = Instant::now();
+        for _ in 0..repeats {
+            for (p, &bits) in points.iter().zip(&sums) {
+                let got = idx.dominance_sum(p).expect("dominance");
+                assert_eq!(got.to_bits(), bits, "{name}: dominance sum drifted");
+            }
+        }
+        let qps = (repeats * points.len()) as f64 / t0.elapsed().as_secs_f64();
+        (qps, sums)
+    };
+    let (dom_qps_on, dom_on) = time_dom(&mut on);
+    let (dom_qps_off, dom_off) = time_dom(&mut off);
+    assert_eq!(
+        dom_on, dom_off,
+        "{name}: dominance sums must be bit-identical with the cache on or off"
+    );
+
+    let st = store_on.stats();
+    if smoke {
+        assert!(
+            st.decode_hits > 0,
+            "{name}: warm queries must hit the decoded-node cache"
+        );
+    }
+    SchemeResult {
+        name,
+        box_qps_on,
+        box_qps_off,
+        dom_qps_on,
+        dom_qps_off,
+        decode_hits: st.decode_hits,
+        decode_misses: st.decode_misses,
+        decode_invalidations: st.decode_invalidations,
+    }
+}
+
+fn json_scheme(r: &SchemeResult) -> String {
+    format!(
+        concat!(
+            "    {{\"name\": \"{}\",\n",
+            "     \"box_sum\": {{\"qps_cache_on\": {:.1}, \"qps_cache_off\": {:.1}, ",
+            "\"speedup\": {:.3}}},\n",
+            "     \"dominance_sum\": {{\"qps_cache_on\": {:.1}, \"qps_cache_off\": {:.1}, ",
+            "\"speedup\": {:.3}}},\n",
+            "     \"decode_cache\": {{\"hits\": {}, \"misses\": {}, \"invalidations\": {}, ",
+            "\"hit_rate\": {:.4}}},\n",
+            "     \"answers_bit_identical\": true, \"byte_io_identical\": true}}"
+        ),
+        r.name,
+        r.box_qps_on,
+        r.box_qps_off,
+        r.box_speedup(),
+        r.dom_qps_on,
+        r.dom_qps_off,
+        r.dom_speedup(),
+        r.decode_hits,
+        r.decode_misses,
+        r.decode_invalidations,
+        r.hit_rate(),
+    )
+}
+
+fn main() {
+    // 64 MiB buffer: this is a warm-cache CPU microbenchmark, so the
+    // whole index must stay resident (unlike the paper's I/O-bound §6
+    // regime, which fig9b reproduces with the 10 MiB buffer).
+    let mut args = Args::parse_with(100_000, 64);
+    if args.smoke {
+        args.n = args.n.min(2_000);
+        args.queries = args.queries.min(25);
+    }
+    let repeats = if args.smoke { 1 } else { 3 };
+    let objects = args.dataset();
+    let queries = gen_queries(2, args.queries, 0.01, args.seed ^ 0x407);
+    println!(
+        "dataset: n = {}, queries = {} x{repeats}, page = {} B, buffer = {} MiB{}",
+        fmt_u64(objects.len() as u64),
+        queries.len(),
+        args.page_size,
+        args.buffer_mb,
+        if args.smoke { " [smoke]" } else { "" }
+    );
+
+    let cfg_for = |cache_on: bool| {
+        let cfg = args.store_config();
+        if cache_on {
+            cfg
+        } else {
+            cfg.with_node_cache(0)
+        }
+    };
+    let results = [
+        bench_scheme(
+            "BAT",
+            |cache_on| {
+                let engine = SimpleBoxSum::batree_bulk(args.space(), cfg_for(cache_on), &objects)
+                    .expect("bulk load");
+                let store = engine.indexes()[0].store().clone();
+                (engine, store)
+            },
+            &queries,
+            repeats,
+            args.smoke,
+        ),
+        bench_scheme(
+            "ECDFu",
+            |cache_on| {
+                let engine = SimpleBoxSum::ecdf_bulk(
+                    2,
+                    BorderPolicy::UpdateOptimized,
+                    cfg_for(cache_on),
+                    &objects,
+                )
+                .expect("bulk load");
+                let store = engine.indexes()[0].store().clone();
+                (engine, store)
+            },
+            &queries,
+            repeats,
+            args.smoke,
+        ),
+        bench_scheme(
+            "ECDFq",
+            |cache_on| {
+                let engine = SimpleBoxSum::ecdf_bulk(
+                    2,
+                    BorderPolicy::QueryOptimized,
+                    cfg_for(cache_on),
+                    &objects,
+                )
+                .expect("bulk load");
+                let store = engine.indexes()[0].store().clone();
+                (engine, store)
+            },
+            &queries,
+            repeats,
+            args.smoke,
+        ),
+    ];
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!("{:.0}", r.box_qps_on),
+                format!("{:.0}", r.box_qps_off),
+                format!("{:.2}", r.box_speedup()),
+                format!("{:.0}", r.dom_qps_on),
+                format!("{:.0}", r.dom_qps_off),
+                format!("{:.2}", r.dom_speedup()),
+                format!("{:.1}%", 100.0 * r.hit_rate()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Warm-cache throughput: decoded-node cache on vs off (2-d, 1 thread)",
+        &[
+            "scheme", "box q/s", "(off)", "speedup", "dom q/s", "(off)", "speedup", "hit rate",
+        ],
+        &rows,
+    );
+
+    if args.smoke {
+        println!("\nsmoke checks passed: bit-identical answers, byte-identical I/O, warm hits");
+        return;
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"hotpath\",\n",
+            "  \"config\": {{\"dims\": 2, \"n\": {}, \"queries\": {}, \"repeats\": {}, ",
+            "\"seed\": {}, \"page_size\": {}, \"buffer_mb\": {}, \"threads\": 1}},\n",
+            "  \"schemes\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        args.n,
+        queries.len(),
+        repeats,
+        args.seed,
+        args.page_size,
+        args.buffer_mb,
+        results
+            .iter()
+            .map(json_scheme)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    std::fs::write("BENCH_PR3.json", json).expect("write BENCH_PR3.json");
+    println!("\nwrote BENCH_PR3.json");
+}

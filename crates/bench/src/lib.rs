@@ -44,6 +44,9 @@ pub struct Args {
     /// Worker threads for the corner fan-out (default 1: the paper's
     /// sequential setting, with exact sequential I/O accounting).
     pub threads: usize,
+    /// CI smoke mode (`--smoke`): shrink the workload to seconds and
+    /// verify invariants instead of producing a full measurement.
+    pub smoke: bool,
 }
 
 impl Args {
@@ -64,11 +67,20 @@ impl Args {
             page_size: 8192,
             buffer_mb: default_buffer_mb,
             threads: 1,
+            smoke: false,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
-        while i + 1 < argv.len() {
-            let val = &argv[i + 1];
+        while i < argv.len() {
+            if argv[i] == "--smoke" {
+                args.smoke = true;
+                i += 1;
+                continue;
+            }
+            let Some(val) = argv.get(i + 1) else {
+                eprintln!("flag {} is missing its value", argv[i]);
+                std::process::exit(2);
+            };
             match argv[i].as_str() {
                 "--n" => args.n = val.parse().expect("--n takes an integer"),
                 "--queries" => args.queries = val.parse().expect("--queries takes an integer"),
@@ -90,13 +102,17 @@ impl Args {
         args
     }
 
-    /// Store configuration per these arguments.
+    /// Store configuration per these arguments. The decoded-node cache
+    /// is sized like the byte buffer (it caches the same working set,
+    /// one decode per resident page); `with_node_cache(0)` disables it.
     pub fn store_config(&self) -> StoreConfig {
+        let buffer_pages = (self.buffer_mb * 1024 * 1024 / self.page_size).max(1);
         StoreConfig {
             page_size: self.page_size,
-            buffer_pages: (self.buffer_mb * 1024 * 1024 / self.page_size).max(1),
+            buffer_pages,
             backing: Default::default(),
             parallelism: self.threads.max(1),
+            node_cache_pages: buffer_pages,
         }
     }
 
@@ -285,6 +301,7 @@ mod tests {
             page_size: 1024,
             buffer_mb: 1,
             threads: 1,
+            smoke: false,
         };
         let objects = args.dataset();
         let mut bat = build_bat(&args, &objects);

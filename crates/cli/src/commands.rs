@@ -94,11 +94,13 @@ fn save_catalog(
 pub fn build(pages: &Path, csv: &Path, space_spec: &str, page_size: usize) -> Result<String> {
     let space = parse_box(space_spec)?;
     let dim = space.dim();
+    let buffer_pages = (64 * 1024 * 1024 / page_size).max(1);
     let config = StoreConfig {
         page_size,
-        buffer_pages: (64 * 1024 * 1024 / page_size).max(1),
+        buffer_pages,
         backing: Backing::File(pages.to_path_buf()),
         parallelism: 1,
+        node_cache_pages: buffer_pages,
     };
     let store = SharedStore::open(&config)?;
     let mut engine = SimpleBoxSum::batree_in(space, store.clone())?;

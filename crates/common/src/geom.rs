@@ -76,6 +76,21 @@ impl Point {
         }
     }
 
+    /// In-place counterpart of [`from_fn`](Self::from_fn) for hot loops
+    /// reusing one scratch point: overwrites `self` with the point whose
+    /// coordinate `i` is `f(i)`. Produces coordinates bit-identical to
+    /// `Point::from_fn(dim, f)`.
+    pub fn from_fn_into(&mut self, dim: usize, mut f: impl FnMut(usize) -> Coord) {
+        assert!((1..=MAX_DIM).contains(&dim));
+        for (i, slot) in self.coords[..dim].iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        // `PartialEq` compares the whole inline array: zero the tail so
+        // the result is indistinguishable from a fresh `from_fn` point.
+        self.coords[dim..].fill(0.0);
+        self.dim = dim as u8;
+    }
+
     /// Dimensionality of the point.
     #[inline]
     pub fn dim(&self) -> usize {

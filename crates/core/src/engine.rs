@@ -16,8 +16,10 @@ use boxagg_pagestore::{SharedStore, StoreConfig};
 pub use crate::functional::FunctionalBoxSum;
 pub use crate::reduction::{CornerBoxSum, EoBoxSum};
 
+use std::sync::Arc;
+
 use crate::functional::{corner_tuples, tuple_value_size, FunctionalObject};
-use crate::parallel::fan_out;
+use crate::parallel::WorkerPool;
 use crate::reduction::eo_index_space;
 
 /// A simple box-sum engine: the corner reduction over any backend.
@@ -49,15 +51,22 @@ impl SimpleBoxSum<BATree<f64>> {
 
     /// Bulk-loads the `2^d` corner BA-trees from a dataset. With
     /// `config.parallelism > 1` the per-corner loads (independent
-    /// trees over the shared store) run on that many worker threads.
+    /// trees over the shared store) run on the engine's persistent
+    /// worker pool, which then serves its queries too.
     pub fn batree_bulk(space: Rect, config: StoreConfig, objects: &[(Rect, f64)]) -> Result<Self> {
         let store = SharedStore::open(&config)?;
-        let trees = fan_out(1 << space.dim(), store.parallelism(), |mask| {
-            let pts = objects.iter().map(|(r, v)| (r.corner(mask), *v)).collect();
-            BATree::bulk_load(store.clone(), space, F64_SIZE, pts)
-        })?;
+        let pool = Arc::new(WorkerPool::new(store.parallelism()));
+        let objects: Arc<[(Rect, f64)]> = objects.into();
+        let trees = {
+            let store = store.clone();
+            let objects = Arc::clone(&objects);
+            pool.run(1 << space.dim(), move |mask| {
+                let pts = objects.iter().map(|(r, v)| (r.corner(mask), *v)).collect();
+                BATree::bulk_load(store.clone(), space, F64_SIZE, pts)
+            })?
+        };
         let mut engine = CornerBoxSum::from_indexes(space.dim(), trees)?;
-        engine.set_parallelism(store.parallelism());
+        engine.attach_pool(pool);
         engine.note_bulk_loaded(objects.len());
         Ok(engine)
     }
@@ -83,7 +92,8 @@ impl SimpleBoxSum<EcdfBTree<f64>> {
 
     /// Bulk-loads the `2^d` corner indexes from a dataset (§4) — how the
     /// large §6 configurations are built. With `config.parallelism > 1`
-    /// the per-corner loads run on that many worker threads.
+    /// the per-corner loads run on the engine's persistent worker pool,
+    /// which then serves its queries too.
     pub fn ecdf_bulk(
         dim: usize,
         policy: BorderPolicy,
@@ -91,12 +101,18 @@ impl SimpleBoxSum<EcdfBTree<f64>> {
         objects: &[(Rect, f64)],
     ) -> Result<Self> {
         let store = SharedStore::open(&config)?;
-        let trees = fan_out(1 << dim, store.parallelism(), |mask| {
-            let pts = objects.iter().map(|(r, v)| (r.corner(mask), *v)).collect();
-            EcdfBTree::bulk_load(store.clone(), dim, policy, F64_SIZE, pts)
-        })?;
+        let pool = Arc::new(WorkerPool::new(store.parallelism()));
+        let objects: Arc<[(Rect, f64)]> = objects.into();
+        let trees = {
+            let store = store.clone();
+            let objects = Arc::clone(&objects);
+            pool.run(1 << dim, move |mask| {
+                let pts = objects.iter().map(|(r, v)| (r.corner(mask), *v)).collect();
+                EcdfBTree::bulk_load(store.clone(), dim, policy, F64_SIZE, pts)
+            })?
+        };
         let mut engine = CornerBoxSum::from_indexes(dim, trees)?;
-        engine.set_parallelism(store.parallelism());
+        engine.attach_pool(pool);
         engine.note_bulk_loaded(objects.len());
         Ok(engine)
     }
@@ -287,6 +303,31 @@ mod tests {
         }
         // Delete half the objects; queries must match brute force over
         // the survivors.
+        for (r, v) in &objs[..100] {
+            e.delete(r, *v).unwrap();
+        }
+        assert_eq!(e.len(), 100);
+        let mut s = 82u64;
+        for _ in 0..40 {
+            let q = rand_rect(&mut s, 0.4);
+            let want = brute(&objs[100..], &q);
+            let got = e.query(&q).unwrap();
+            assert!(
+                (got - want).abs() < 1e-6 * want.abs().max(1.0),
+                "after deletes: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn eo_deletion_by_negation() {
+        let objs = dataset(200, 81);
+        let mut e = EoBoxSum::batree(unit_space(), StoreConfig::small(1024, 128)).unwrap();
+        for (r, v) in &objs {
+            e.insert(r, *v).unwrap();
+        }
+        // Delete half the objects; queries must match brute force over
+        // the survivors (mirrors `deletion_by_negation` above).
         for (r, v) in &objs[..100] {
             e.delete(r, *v).unwrap();
         }

@@ -1,55 +1,166 @@
-//! Scoped-thread fan-out for the `2^d` independent corner tasks.
+//! Persistent worker pool for the `2^d` independent corner tasks.
 //!
 //! The corner reduction (§2) decomposes a box-sum into `2^d` dominance
 //! sums against `2^d` *independent* indexes, and bulk-loading builds
 //! those `2^d` indexes from disjoint corner point sets. Both are
-//! embarrassingly parallel; this module provides the one fan-out
-//! primitive they share, built on [`std::thread::scope`] (the workspace
-//! builds offline, without a thread-pool crate).
+//! embarrassingly parallel. Earlier revisions re-spawned
+//! [`std::thread::scope`] threads for every single query; this module
+//! replaces that with a [`WorkerPool`] created **once per engine** —
+//! workers park on a channel between queries, so the per-query cost is a
+//! handful of channel sends instead of `2^d` thread spawns. (Built on
+//! `std` channels only: the workspace builds offline, without a
+//! thread-pool crate.)
+//!
+//! Determinism contract: [`WorkerPool::run`] returns results **in task
+//! order** and reports the error earliest in task order, exactly like a
+//! sequential loop would — callers combining floating-point terms get
+//! bit-identical answers at any thread count.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
 
 use boxagg_common::error::Result;
 
-/// Runs `f(0), …, f(tasks - 1)` on up to `threads` scoped worker
-/// threads and returns the results in task order. With `threads <= 1`
-/// (or a single task) everything runs sequentially on the caller's
-/// thread — no spawn, deterministic sequential execution.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of persistent worker threads fed from one shared
+/// injector channel.
 ///
-/// Tasks are assigned round-robin (worker `w` runs tasks `w`,
-/// `w + workers`, …). If any task fails, the error that is earliest in
-/// task order is returned — same as the sequential path would report.
-pub fn fan_out<T, F>(tasks: usize, threads: usize, f: F) -> Result<Vec<T>>
-where
-    T: Send,
-    F: Fn(usize) -> Result<T> + Sync,
-{
-    if threads <= 1 || tasks <= 1 {
-        return (0..tasks).map(f).collect();
+/// With `threads <= 1` no threads are spawned at all: every submitted
+/// closure runs inline on the caller's thread, giving deterministic
+/// sequential execution (the paper-faithful mode).
+pub struct WorkerPool {
+    /// `None` in sequential mode; dropped before joining on shutdown.
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
     }
-    let workers = threads.min(tasks);
-    let f = &f;
-    let per_worker: Vec<Vec<(usize, Result<T>)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                scope.spawn(move || {
-                    (w..tasks)
-                        .step_by(workers)
-                        .map(|i| (i, f(i)))
-                        .collect::<Vec<_>>()
-                })
+}
+
+impl WorkerPool {
+    /// Creates a pool of `threads` workers (`<= 1` means inline
+    /// sequential execution, no threads spawned).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return Self {
+                sender: None,
+                workers: Vec::new(),
+                threads,
+            };
+        }
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::spawn(move || worker_loop(&receiver))
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("fan-out worker panicked"))
-            .collect()
-    });
-    let mut slots: Vec<Option<Result<T>>> = (0..tasks).map(|_| None).collect();
-    for (i, r) in per_worker.into_iter().flatten() {
-        slots[i] = Some(r);
+        Self {
+            sender: Some(sender),
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of worker threads (1 = inline sequential mode).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Submits one job. In sequential mode it runs inline before this
+    /// returns; otherwise it is queued for the next free worker. A job
+    /// that panics does not kill its worker (the panic is caught and the
+    /// worker returns to the queue); the submitter notices through
+    /// whatever channel the job was supposed to report on.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        match &self.sender {
+            Some(sender) => sender
+                .send(Box::new(job))
+                .expect("worker pool shut down while in use"),
+            None => job(),
+        }
+    }
+
+    /// Runs `f(0), …, f(tasks - 1)` on the pool and returns the results
+    /// **in task order**. If any task fails, the error earliest in task
+    /// order is returned — same as the sequential path would report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task panics (the panic is observed as the task never
+    /// reporting back).
+    pub fn run<T, F>(&self, tasks: usize, f: F) -> Result<Vec<T>>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> Result<T> + Send + Sync + 'static,
+    {
+        if self.sender.is_none() || tasks <= 1 {
+            return (0..tasks).map(f).collect();
+        }
+        let f = Arc::new(f);
+        let (tx, rx) = channel();
+        for i in 0..tasks {
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            self.execute(move || {
+                let _ = tx.send((i, f(i)));
+            });
+        }
+        drop(tx);
+        collect_in_order(&rx, tasks).into_iter().collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnect the channel so workers drain the queue and exit.
+        self.sender.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = {
+            let guard = receiver.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.recv()
+        };
+        match job {
+            // A panicking job must not take the worker down with it —
+            // the pool outlives any single query.
+            Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
+            Err(_) => return,
+        }
+    }
+}
+
+/// Receives `tasks` `(index, value)` messages and returns the values in
+/// index order. Panics if a producer vanished without reporting (i.e. a
+/// task panicked on its worker).
+pub(crate) fn collect_in_order<T>(rx: &Receiver<(usize, T)>, tasks: usize) -> Vec<T> {
+    let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+    for _ in 0..tasks {
+        let (i, value) = rx
+            .recv()
+            .expect("a worker task panicked before reporting its result");
+        slots[i] = Some(value);
     }
     slots
         .into_iter()
-        .map(|s| s.expect("every task was assigned to a worker"))
+        .map(|s| s.expect("every task reports exactly once"))
         .collect()
 }
 
@@ -62,37 +173,44 @@ mod tests {
     #[test]
     fn results_come_back_in_task_order() {
         for threads in [1, 2, 3, 8, 64] {
-            let out = fan_out(13, threads, |i| Ok(i * i)).unwrap();
+            let pool = WorkerPool::new(threads);
+            let out = pool.run(13, |i| Ok(i * i)).unwrap();
             assert_eq!(out, (0..13).map(|i| i * i).collect::<Vec<_>>());
         }
     }
 
     #[test]
     fn zero_and_single_task_edge_cases() {
-        assert_eq!(fan_out(0, 4, Ok).unwrap(), Vec::<usize>::new());
-        assert_eq!(fan_out(1, 4, |i| Ok(i + 7)).unwrap(), vec![7]);
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.run(0, Ok).unwrap(), Vec::<usize>::new());
+        assert_eq!(pool.run(1, |i| Ok(i + 7)).unwrap(), vec![7]);
     }
 
     #[test]
     fn first_error_in_task_order_wins() {
         for threads in [1, 4] {
-            let err = fan_out(8, threads, |i| {
-                if i >= 3 {
-                    Err(invalid_arg(format!("task {i}")))
-                } else {
-                    Ok(i)
-                }
-            })
-            .unwrap_err();
+            let pool = WorkerPool::new(threads);
+            let err = pool
+                .run(8, |i| {
+                    if i >= 3 {
+                        Err(invalid_arg(format!("task {i}")))
+                    } else {
+                        Ok(i)
+                    }
+                })
+                .unwrap_err();
             assert!(err.to_string().contains("task 3"), "got: {err}");
         }
     }
 
     #[test]
     fn every_task_runs_exactly_once() {
-        let counts: Vec<AtomicUsize> = (0..20).map(|_| AtomicUsize::new(0)).collect();
-        fan_out(20, 4, |i| {
-            counts[i].fetch_add(1, Ordering::Relaxed);
+        let counts: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..20).map(|_| AtomicUsize::new(0)).collect());
+        let pool = WorkerPool::new(4);
+        let c = Arc::clone(&counts);
+        pool.run(20, move |i| {
+            c[i].fetch_add(1, Ordering::Relaxed);
             Ok(())
         })
         .unwrap();
@@ -104,14 +222,42 @@ mod tests {
         // With as many threads as tasks, every task can wait for all
         // others to have started — this deadlocks if execution were
         // secretly sequential.
-        let started = AtomicUsize::new(0);
-        fan_out(4, 4, |_| {
-            started.fetch_add(1, Ordering::SeqCst);
-            while started.load(Ordering::SeqCst) < 4 {
+        let started = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(4);
+        let s = Arc::clone(&started);
+        pool.run(4, move |_| {
+            s.fetch_add(1, Ordering::SeqCst);
+            while s.load(Ordering::SeqCst) < 4 {
                 std::thread::yield_now();
             }
             Ok(())
         })
         .unwrap();
+    }
+
+    #[test]
+    fn pool_survives_many_rounds() {
+        // The whole point of the pool: reuse across queries. 100 rounds
+        // on one pool must neither leak workers nor wedge the channel.
+        let pool = WorkerPool::new(3);
+        for round in 0..100usize {
+            let out = pool.run(5, move |i| Ok(round + i)).unwrap();
+            assert_eq!(out, (round..round + 5).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(4, |i| {
+                assert!(i != 2, "task 2 explodes");
+                Ok(i)
+            })
+        }));
+        assert!(result.is_err(), "the panic must surface to the caller");
+        // Workers caught the panic; the pool still works.
+        let out = pool.run(4, Ok).unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3]);
     }
 }

@@ -26,9 +26,14 @@
 //! reduction. Implemented here as the ablation baseline; "above" events
 //! become dominance conditions by negating the coordinate.
 
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+
 use boxagg_common::error::{invalid_arg, Result};
 use boxagg_common::geom::{Point, Rect, MAX_DIM};
 use boxagg_common::traits::DominanceSumIndex;
+
+use crate::parallel::{collect_in_order, WorkerPool};
 
 /// Number of dominance-sum queries the corner reduction issues per
 /// box-sum (Theorem 2).
@@ -51,6 +56,9 @@ pub struct CornerBoxSum<I> {
     len: usize,
     queries_issued: u64,
     parallelism: usize,
+    /// Persistent worker pool, created once per engine (never per
+    /// query). `None` in sequential mode.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl<I: DominanceSumIndex<f64>> CornerBoxSum<I> {
@@ -88,15 +96,26 @@ impl<I: DominanceSumIndex<f64>> CornerBoxSum<I> {
             len: 0,
             queries_issued: 0,
             parallelism: 1,
+            pool: None,
         })
     }
 
     /// Sets the number of worker threads [`query`](Self::query) fans the
-    /// `2^d` corner queries out to. `1` (the default) evaluates corners
-    /// sequentially in mask order — the paper-faithful mode with exact
-    /// sequential I/O accounting.
+    /// `2^d` corner queries out to, (re)creating the engine's persistent
+    /// [`WorkerPool`]. `1` (the default) evaluates corners sequentially
+    /// in mask order — the paper-faithful mode with exact sequential I/O
+    /// accounting.
     pub fn set_parallelism(&mut self, threads: usize) {
-        self.parallelism = threads.max(1);
+        let threads = threads.max(1);
+        self.parallelism = threads;
+        self.pool = (threads > 1).then(|| Arc::new(WorkerPool::new(threads)));
+    }
+
+    /// Attaches an already-running pool (e.g. the one that just ran the
+    /// per-corner bulk loads), avoiding a second spawn.
+    pub(crate) fn attach_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.parallelism = pool.threads();
+        self.pool = (pool.threads() > 1).then_some(pool);
     }
 
     /// Worker threads used by [`query`](Self::query).
@@ -127,6 +146,12 @@ impl<I: DominanceSumIndex<f64>> CornerBoxSum<I> {
     /// Access to the underlying corner indexes (diagnostics).
     pub fn indexes(&self) -> &[I] {
         &self.indexes
+    }
+
+    /// Mutable access to the underlying corner indexes (diagnostics and
+    /// benchmarks that issue raw dominance-sum queries).
+    pub fn indexes_mut(&mut self) -> &mut [I] {
+        &mut self.indexes
     }
 
     /// Records `n` objects loaded directly into the indexes by a bulk
@@ -177,52 +202,74 @@ impl<I: DominanceSumIndex<f64>> CornerBoxSum<I> {
     /// Total value of objects intersecting `q` (closed intersection).
     ///
     /// With [`parallelism`](Self::parallelism) `> 1` the `2^d` corner
-    /// queries run on scoped worker threads (they hit independent
-    /// indexes); terms are still combined in mask order, so the result
-    /// is bit-identical to the sequential evaluation.
+    /// queries run on the engine's persistent [`WorkerPool`] (they hit
+    /// independent indexes); terms are still combined in mask order, so
+    /// the result is bit-identical to the sequential evaluation.
     pub fn query(&mut self, q: &Rect) -> Result<f64>
     where
-        I: Send,
+        I: Send + 'static,
     {
         if q.dim() != self.dim {
             return Err(invalid_arg("query dimensionality mismatch"));
         }
         let n = 1usize << self.dim;
-        let terms: Vec<f64> = if self.parallelism > 1 {
-            let points: Vec<Point> = (0..n)
-                .map(|mask| Self::corner_query_point(q, self.dim, mask))
-                .collect();
-            let workers = self.parallelism.min(n);
-            let chunk = n.div_ceil(workers);
-            let mut terms = vec![0.0f64; n];
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .indexes
-                    .chunks_mut(chunk)
-                    .zip(terms.chunks_mut(chunk))
-                    .zip(points.chunks(chunk))
-                    .map(|((idxs, outs), pts)| {
-                        scope.spawn(move || -> Result<()> {
-                            for ((idx, out), y) in idxs.iter_mut().zip(outs).zip(pts) {
-                                *out = idx.dominance_sum(y)?;
-                            }
-                            Ok(())
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("corner query worker panicked"))
-                    .collect::<Result<Vec<()>>>()
-            })?;
+        let pool = self.pool.as_ref().filter(|p| p.threads() > 1).cloned();
+        let terms: Vec<f64> = if let Some(pool) = pool {
+            // Each worker takes ownership of its corner index for the
+            // duration of the query (jobs must be 'static); indexes come
+            // back through the same channel as the terms and are
+            // reinstalled in mask order.
+            let (tx, rx) = channel();
+            for (mask, mut idx) in std::mem::take(&mut self.indexes).into_iter().enumerate() {
+                let y = Self::corner_query_point(q, self.dim, mask);
+                let tx = tx.clone();
+                pool.execute(move || {
+                    let term = idx.dominance_sum(&y);
+                    let _ = tx.send((mask, (idx, term)));
+                });
+            }
+            drop(tx);
+            let mut terms = Vec::with_capacity(n);
+            let mut first_err = None;
+            for (idx, term) in collect_in_order(&rx, n) {
+                self.indexes.push(idx);
+                match term {
+                    Ok(t) => terms.push(t),
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
+            }
             self.queries_issued += n as u64;
+            if let Some(e) = first_err {
+                // Every index is already back in place; the error
+                // earliest in mask order wins, as sequentially.
+                return Err(e);
+            }
             terms
         } else {
             // Sequential mask-ascending evaluation: the paper's access
-            // pattern, preserved exactly for I/O accounting.
+            // pattern, preserved exactly for I/O accounting. The `d`
+            // `next_down` nudges are computed once per query and the
+            // corner point is rebuilt into a scratch buffer per mask —
+            // coordinates bit-identical to `corner_query_point`.
+            let mut lo = [0.0f64; MAX_DIM];
+            let mut hi = [0.0f64; MAX_DIM];
+            for i in 0..self.dim {
+                lo[i] = q.low().get(i).next_down();
+                hi[i] = q.high().get(i);
+            }
+            let mut y = Point::zeros(self.dim);
             let mut terms = Vec::with_capacity(n);
             for mask in 0..n {
-                let y = Self::corner_query_point(q, self.dim, mask);
+                y.from_fn_into(
+                    self.dim,
+                    |i| {
+                        if mask & (1 << i) != 0 {
+                            lo[i]
+                        } else {
+                            hi[i]
+                        }
+                    },
+                );
                 terms.push(self.indexes[mask].dominance_sum(&y)?);
                 self.queries_issued += 1;
             }
@@ -338,6 +385,29 @@ impl<I: DominanceSumIndex<f64>> EoBoxSum<I> {
         }
         self.total += value;
         self.len += 1;
+        Ok(())
+    }
+
+    /// Deletes a previously inserted object by inserting its negation —
+    /// the same deletion-by-negation [`CornerBoxSum::delete`] uses,
+    /// exact for the group aggregates (SUM/COUNT/AVG) this engine
+    /// serves. The box and value must match the original insertion.
+    pub fn delete(&mut self, rect: &Rect, value: f64) -> Result<()> {
+        if rect.dim() != self.dim {
+            return Err(invalid_arg("object dimensionality mismatch"));
+        }
+        for mask in 0..(1usize << self.dim) {
+            let p = Point::from_fn(self.dim, |i| {
+                if mask & (1 << i) != 0 {
+                    -rect.low().get(i)
+                } else {
+                    rect.high().get(i)
+                }
+            });
+            self.indexes[mask].insert(p, -value)?;
+        }
+        self.total -= value;
+        self.len = self.len.saturating_sub(1);
         Ok(())
     }
 
@@ -558,6 +628,68 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
         }
         assert_eq!(seq.queries_issued(), par.queries_issued());
+    }
+
+    #[test]
+    fn scratch_corner_points_match_allocating_path() {
+        // The sequential hot loop rebuilds the corner query point into a
+        // scratch buffer from precomputed lo/hi arrays; it must be
+        // bit-identical (all coordinates, every mask) to the allocating
+        // `corner_query_point` the parallel path uses.
+        let mut s = 404u64;
+        for dim in 1..=4usize {
+            for _ in 0..50 {
+                let q = rand_rect(&mut s, dim, 0.5);
+                let mut lo = [0.0f64; MAX_DIM];
+                let mut hi = [0.0f64; MAX_DIM];
+                for i in 0..dim {
+                    lo[i] = q.low().get(i).next_down();
+                    hi[i] = q.high().get(i);
+                }
+                let mut scratch = Point::zeros(dim);
+                for mask in 0..(1usize << dim) {
+                    scratch.from_fn_into(dim, |i| if mask & (1 << i) != 0 { lo[i] } else { hi[i] });
+                    let fresh =
+                        CornerBoxSum::<NaiveDominanceIndex<f64>>::corner_query_point(&q, dim, mask);
+                    for i in 0..dim {
+                        assert_eq!(
+                            scratch.get(i).to_bits(),
+                            fresh.get(i).to_bits(),
+                            "dim {dim} mask {mask} coord {i}"
+                        );
+                    }
+                    assert!(scratch == fresh, "whole-point equality must hold too");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eo_delete_mirrors_corner_delete() {
+        let mut eo = eo_engine(2);
+        let mut corner = corner_engine(2);
+        let mut objs = Vec::new();
+        let mut s = 606u64;
+        for i in 0..80 {
+            let r = rand_rect(&mut s, 2, 0.3);
+            let v = (i % 5) as f64 - 1.0;
+            eo.insert(&r, v).unwrap();
+            corner.insert(&r, v).unwrap();
+            objs.push((r, v));
+        }
+        for (r, v) in &objs[..40] {
+            eo.delete(r, *v).unwrap();
+            corner.delete(r, *v).unwrap();
+        }
+        assert_eq!(eo.len(), 40);
+        for _ in 0..60 {
+            let q = rand_rect(&mut s, 2, 0.5);
+            let want = brute(&objs[40..], &q);
+            let got_eo = eo.query(&q).unwrap();
+            let got_c = corner.query(&q).unwrap();
+            assert!((got_eo - want).abs() < 1e-6, "eo: {got_eo} vs {want}");
+            assert!((got_c - want).abs() < 1e-6, "corner: {got_c} vs {want}");
+        }
     }
 
     #[test]

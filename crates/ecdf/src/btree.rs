@@ -25,6 +25,8 @@
 //! bottom-up from sorted runs, computing each border as it seals each
 //! internal entry.
 
+use std::sync::Arc;
+
 use boxagg_common::bytes::ByteWriter;
 use boxagg_common::error::{corrupt, invalid_arg, Error, Result};
 use boxagg_common::geom::Point;
@@ -99,7 +101,7 @@ struct InternalEntry<V> {
     border: Border<V>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Node<V> {
     Leaf(Vec<(Point, V)>),
     Internal(Vec<InternalEntry<V>>),
@@ -186,9 +188,20 @@ struct Ctx<'a> {
 }
 
 impl<'a> Ctx<'a> {
-    fn read<V: AggValue>(&self, id: PageId, level: usize) -> Result<Node<V>> {
+    /// Shared read through the store's decoded-node cache: warm
+    /// traversals skip `Node::decode` entirely. Byte-level I/O
+    /// accounting is unchanged (see `SharedStore::read_node`).
+    fn read_shared<V: AggValue>(&self, id: PageId, level: usize) -> Result<Arc<Node<V>>> {
+        let dim = self.dim;
         self.store
-            .with_page(id, |bytes| Node::decode(bytes, self.dim, level))?
+            .read_node(id, |bytes| Node::decode(bytes, dim, level))
+    }
+
+    /// Owned read for mutation paths: a deep clone of the shared decode
+    /// (cloning is cheaper than re-parsing bytes on a cache hit).
+    fn read<V: AggValue>(&self, id: PageId, level: usize) -> Result<Node<V>> {
+        let shared: Arc<Node<V>> = self.read_shared(id, level)?;
+        Ok((*shared).clone())
     }
 
     fn write<V: AggValue>(&self, id: PageId, level: usize, node: &Node<V>) -> Result<()> {
@@ -218,8 +231,8 @@ fn enumerate<V: AggValue>(
     if root.is_null() {
         return Ok(());
     }
-    match ctx.read::<V>(root, level)? {
-        Node::Leaf(mut entries) => out.append(&mut entries),
+    match &*ctx.read_shared::<V>(root, level)? {
+        Node::Leaf(entries) => out.extend(entries.iter().cloned()),
         Node::Internal(entries) => {
             for e in entries {
                 enumerate::<V>(ctx, level, e.child, out)?;
@@ -233,7 +246,7 @@ fn free_tree<V: AggValue>(ctx: Ctx<'_>, level: usize, root: PageId) -> Result<()
     if root.is_null() {
         return Ok(());
     }
-    if let Node::Internal(entries) = ctx.read::<V>(root, level)? {
+    if let Node::Internal(entries) = &*ctx.read_shared::<V>(root, level)? {
         for e in entries {
             free_tree::<V>(ctx, level, e.child)?;
             if let Border::Tree(b) = e.border {
@@ -340,10 +353,10 @@ fn query_tree<V: AggValue>(ctx: Ctx<'_>, level: usize, root: PageId, q: &Point) 
     if root.is_null() {
         return Ok(V::zero());
     }
-    match ctx.read::<V>(root, level)? {
+    match &*ctx.read_shared::<V>(root, level)? {
         Node::Leaf(entries) => {
             let mut acc = V::zero();
-            for (p, v) in &entries {
+            for (p, v) in entries {
                 if (level..ctx.dim).all(|i| p.get(i) <= q.get(i)) {
                     acc.add_assign(v);
                 }

@@ -271,6 +271,9 @@ fn rule_unsafe(tokens: &[Token], out: &mut Vec<Finding>) {
 /// R3: in `pagestore`, every lock acquisition must go through
 /// `RankedMutex::acquire`; raw `.lock()` / `.try_lock()` (and any
 /// `RwLock`, which the wrapper does not cover yet) are rejected.
+/// This covers every pagestore mutex: the allocator, the decoded-node
+/// cache shards (`nodecache.rs`, rank `NODE_CACHE`), the buffer-pool
+/// shards, the pager, and the stats sink.
 fn rule_raw_lock(tokens: &[Token], in_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
     for (i, t) in tokens.iter().enumerate() {
         if in_test(i) {

@@ -38,6 +38,14 @@ use crate::pager::{PageId, Pager};
 use crate::rank::{self, RankedMutex};
 
 /// Cumulative I/O statistics of a [`BufferPool`].
+///
+/// The `decode_*` counters belong to the decoded-node cache layered above
+/// the byte pool (see [`crate::nodecache`]); they are zero when stats are
+/// read from a bare `BufferPool` and are folded in by
+/// [`SharedStore::stats`](crate::store::SharedStore::stats). They never
+/// contribute to [`total`](IoStats::total): a decoded-cache hit still
+/// performs exactly one byte-level access, so the paper-faithful I/O
+/// metric is unchanged by the cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {
     /// Pages fetched from the pager (buffer misses).
@@ -46,6 +54,14 @@ pub struct IoStats {
     pub writes: u64,
     /// Page accesses satisfied from the buffer.
     pub hits: u64,
+    /// Node reads served from the decoded-node cache (decode skipped).
+    pub decode_hits: u64,
+    /// Node reads that had to decode from bytes (cold, stale, or cache
+    /// disabled).
+    pub decode_misses: u64,
+    /// Generation bumps from `write_page` / `free` that discarded (or
+    /// pre-empted) a cached decode.
+    pub decode_invalidations: u64,
 }
 
 impl IoStats {
@@ -62,6 +78,11 @@ impl IoStats {
             reads: self.reads.saturating_sub(earlier.reads),
             writes: self.writes.saturating_sub(earlier.writes),
             hits: self.hits.saturating_sub(earlier.hits),
+            decode_hits: self.decode_hits.saturating_sub(earlier.decode_hits),
+            decode_misses: self.decode_misses.saturating_sub(earlier.decode_misses),
+            decode_invalidations: self
+                .decode_invalidations
+                .saturating_sub(earlier.decode_invalidations),
         }
     }
 }
@@ -253,6 +274,7 @@ impl BufferPool {
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
+            ..IoStats::default()
         }
     }
 

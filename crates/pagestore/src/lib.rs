@@ -16,6 +16,9 @@
 //!   [`pager::FilePager`] for real files),
 //! * [`buffer`] — the [`buffer::BufferPool`]: LRU caching,
 //!   dirty write-back, [`buffer::IoStats`],
+//! * [`nodecache`] — the [`nodecache::NodeCache`]: a generation-checked
+//!   LRU of *decoded* nodes above the byte pool, so warm traversals skip
+//!   codec cost without perturbing byte-level I/O accounting,
 //! * [`rank`] — [`rank::RankedMutex`], the rank-checked lock wrapper
 //!   every mutex in this crate goes through (debug builds panic on
 //!   out-of-order acquisition; see the module docs for the lock order),
@@ -24,11 +27,13 @@
 //!   trees) share one pool so space and I/O are accounted jointly.
 
 pub mod buffer;
+pub mod nodecache;
 pub mod pager;
 pub mod rank;
 pub mod store;
 
 pub use buffer::{BufferPool, IoStats};
+pub use nodecache::NodeCache;
 pub use pager::{FilePager, MemPager, PageId, Pager, DEFAULT_PAGE_SIZE};
 pub use rank::{RankedGuard, RankedMutex};
 pub use store::{Backing, SharedStore, StoreConfig};

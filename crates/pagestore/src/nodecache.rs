@@ -1,0 +1,405 @@
+//! Decoded-node cache: a typed object cache layered *above* the byte
+//! buffer pool.
+//!
+//! A dominance-sum traversal decodes every node it touches, so a byte
+//! buffer *hit* still re-parses points, values and polynomial tuples on
+//! every visit.  This cache keeps the decoded representation — an
+//! `Arc<dyn Any + Send + Sync>` — keyed by page id, so warm traversals
+//! skip the codec entirely.  It deliberately changes *nothing* about
+//! byte-level I/O accounting: the store still performs exactly one
+//! byte-pool access per node read (see
+//! [`SharedStore::read_node`](crate::store::SharedStore::read_node)), so
+//! the paper-faithful `IoStats` reads/hits/eviction order are
+//! byte-identical with the cache on or off.
+//!
+//! # Generation protocol
+//!
+//! Staleness is prevented with per-page *generations*:
+//!
+//! * [`lookup`](NodeCache::lookup) returns the cached node (if any) and
+//!   the page's current generation `g`.
+//! * The caller decodes **outside** the cache lock and then calls
+//!   [`insert_if_current`](NodeCache::insert_if_current) with `g`; the
+//!   insert is dropped if the generation moved in the meantime.
+//! * [`invalidate`](NodeCache::invalidate) — called by the store *after*
+//!   a byte write or free completes — bumps the generation and removes
+//!   any cached entry.
+//!
+//! Any decode racing a writer either (a) inserts before the writer's
+//! invalidate, which then removes it, or (b) inserts after, in which case
+//! its generation check fails.  An entry that survives was inserted with
+//! the post-write generation and therefore decoded the post-write bytes.
+//!
+//! Each shard's mutex is a [`RankedMutex`] at rank
+//! [`NODE_CACHE`](crate::rank::NODE_CACHE) — a leaf lock; no other lock
+//! is ever acquired while it is held.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::pager::PageId;
+use crate::rank::{self, RankedMutex};
+
+/// Type-erased decoded node as stored in the cache.
+pub type CachedNode = Arc<dyn Any + Send + Sync>;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Slot {
+    id: PageId,
+    gen: u64,
+    node: Option<CachedNode>,
+    prev: usize,
+    next: usize,
+}
+
+/// One independent LRU list over a slice of the page-id space, mirroring
+/// the byte pool's shard structure.
+struct CacheShard {
+    capacity: usize,
+    slots: Vec<Slot>,
+    map: HashMap<PageId, usize>,
+    /// Current generation per page id.  Outlives the cached entry: a
+    /// generation recorded here rejects in-flight decodes that started
+    /// before the write that bumped it.  Absent means generation 0.
+    gens: HashMap<PageId, u64>,
+    /// Most recently used slot index.
+    head: usize,
+    /// Least recently used slot index.
+    tail: usize,
+    free: Vec<usize>,
+}
+
+impl CacheShard {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            slots: Vec::new(),
+            map: HashMap::new(),
+            gens: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+        }
+    }
+
+    fn generation(&self, id: PageId) -> u64 {
+        self.gens.get(&id).copied().unwrap_or(0)
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head != idx {
+            self.detach(idx);
+            self.push_front(idx);
+        }
+    }
+
+    /// Removes the entry caching `id`, if any (LRU eviction or explicit
+    /// invalidation).
+    fn remove(&mut self, id: PageId) -> bool {
+        if let Some(idx) = self.map.remove(&id) {
+            self.detach(idx);
+            self.slots[idx].node = None;
+            self.slots[idx].id = PageId::NULL;
+            self.free.push(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, id: PageId, gen: u64, node: CachedNode) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&id) {
+            self.slots[idx].gen = gen;
+            self.slots[idx].node = Some(node);
+            self.touch(idx);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.slots[self.tail].id;
+            self.remove(victim);
+        }
+        let idx = if let Some(idx) = self.free.pop() {
+            self.slots[idx] = Slot {
+                id,
+                gen,
+                node: Some(node),
+                prev: NIL,
+                next: NIL,
+            };
+            idx
+        } else {
+            self.slots.push(Slot {
+                id,
+                gen,
+                node: Some(node),
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        };
+        self.map.insert(id, idx);
+        self.push_front(idx);
+    }
+}
+
+/// A sharded, generation-checked LRU cache of decoded nodes.
+///
+/// Created and owned by [`SharedStore`](crate::store::SharedStore);
+/// capacity 0 disables storage entirely (every lookup is a counted miss,
+/// preserving the `decode_hits + decode_misses == node accesses`
+/// invariant even when disabled).
+pub struct NodeCache {
+    shards: Box<[RankedMutex<CacheShard>]>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    shard_mask: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl std::fmt::Debug for NodeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeCache")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+impl NodeCache {
+    /// Creates a cache holding at most `capacity` decoded nodes split
+    /// across `shards` LRU lists (rounded up to a power of two).
+    /// `capacity == 0` disables storage but keeps counting accesses.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let shards: Vec<RankedMutex<CacheShard>> = (0..n)
+            .map(|i| {
+                // Split capacity as evenly as possible; a disabled cache
+                // (capacity 0) gets zero-capacity shards.
+                let cap = if capacity == 0 {
+                    0
+                } else {
+                    (capacity / n + usize::from(i < capacity % n)).max(1)
+                };
+                RankedMutex::new(rank::NODE_CACHE, "node cache shard", CacheShard::new(cap))
+            })
+            .collect();
+        Self {
+            shards: shards.into_boxed_slice(),
+            shard_mask: (n - 1) as u64,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, id: PageId) -> &RankedMutex<CacheShard> {
+        // Fibonacci hashing, matching the byte pool's spread.
+        let h = id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h & self.shard_mask) as usize]
+    }
+
+    /// Total node capacity (summed across shards).
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.acquire().capacity).sum()
+    }
+
+    /// Looks up the decoded node for `id` and returns it (counting a hit)
+    /// together with the page's current generation. A missing entry — or
+    /// one whose concrete type is not `N` — counts as a miss; the caller
+    /// decodes and calls [`insert_if_current`](Self::insert_if_current)
+    /// with the returned generation.
+    pub fn lookup<N: Any + Send + Sync>(&self, id: PageId) -> (Option<Arc<N>>, u64) {
+        let mut shard = self.shard_for(id).acquire();
+        let gen = shard.generation(id);
+        if let Some(&idx) = shard.map.get(&id) {
+            let node = shard.slots[idx]
+                .node
+                .clone()
+                .and_then(|n| n.downcast::<N>().ok());
+            if let Some(node) = node {
+                shard.touch(idx);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (Some(node), gen);
+            }
+            // Same page decoded as a different type: drop the entry and
+            // let the caller re-decode.
+            shard.remove(id);
+        }
+        drop(shard);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        (None, gen)
+    }
+
+    /// Caches `node` for `id` unless the page's generation moved past
+    /// `gen` since the matching [`lookup`](Self::lookup) — in which case
+    /// the decode raced a write and is silently dropped.
+    pub fn insert_if_current(&self, id: PageId, gen: u64, node: CachedNode) {
+        let mut shard = self.shard_for(id).acquire();
+        if shard.capacity == 0 || shard.generation(id) != gen {
+            return;
+        }
+        shard.insert(id, gen, node);
+    }
+
+    /// Bumps `id`'s generation and removes any cached entry.  Must be
+    /// called after the byte-level write (or free) has completed, so that
+    /// any decode that survives the bump has seen the new bytes.
+    pub fn invalidate(&self, id: PageId) {
+        let mut shard = self.shard_for(id).acquire();
+        let gen = shard.generation(id);
+        shard.gens.insert(id, gen + 1);
+        shard.remove(id);
+        drop(shard);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(hits, misses, invalidations)` counter snapshot.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.invalidations.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Zeroes the hit/miss/invalidation counters.
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.invalidations.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> PageId {
+        PageId(n)
+    }
+
+    #[test]
+    fn miss_then_hit_round_trip() {
+        let cache = NodeCache::new(8, 1);
+        let (got, gen) = cache.lookup::<String>(pid(1));
+        assert!(got.is_none());
+        cache.insert_if_current(pid(1), gen, Arc::new("node".to_string()));
+        let (got, _) = cache.lookup::<String>(pid(1));
+        assert_eq!(got.unwrap().as_str(), "node");
+        assert_eq!(cache.counters(), (1, 1, 0));
+    }
+
+    #[test]
+    fn invalidate_rejects_stale_insert_and_drops_entry() {
+        let cache = NodeCache::new(8, 1);
+        let (_, gen) = cache.lookup::<u32>(pid(7));
+        cache.invalidate(pid(7));
+        // The decode started before the write: its insert must be dropped.
+        cache.insert_if_current(pid(7), gen, Arc::new(1u32));
+        let (got, gen2) = cache.lookup::<u32>(pid(7));
+        assert!(got.is_none(), "stale insert must not be observable");
+        assert_ne!(gen, gen2);
+        // An insert carrying the post-write generation sticks.
+        cache.insert_if_current(pid(7), gen2, Arc::new(2u32));
+        assert_eq!(*cache.lookup::<u32>(pid(7)).0.unwrap(), 2);
+        // Invalidation removes a live entry too.
+        cache.invalidate(pid(7));
+        assert!(cache.lookup::<u32>(pid(7)).0.is_none());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = NodeCache::new(2, 1);
+        for n in [1u64, 2] {
+            let (_, gen) = cache.lookup::<u64>(pid(n));
+            cache.insert_if_current(pid(n), gen, Arc::new(n));
+        }
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.lookup::<u64>(pid(1)).0.is_some());
+        let (_, gen) = cache.lookup::<u64>(pid(3));
+        cache.insert_if_current(pid(3), gen, Arc::new(3u64));
+        assert!(cache.lookup::<u64>(pid(2)).0.is_none(), "2 was evicted");
+        assert!(cache.lookup::<u64>(pid(1)).0.is_some());
+        assert!(cache.lookup::<u64>(pid(3)).0.is_some());
+    }
+
+    #[test]
+    fn zero_capacity_counts_misses_but_stores_nothing() {
+        let cache = NodeCache::new(0, 4);
+        for n in 0..10u64 {
+            let (got, gen) = cache.lookup::<u64>(pid(n));
+            assert!(got.is_none());
+            cache.insert_if_current(pid(n), gen, Arc::new(n));
+        }
+        for n in 0..10u64 {
+            assert!(cache.lookup::<u64>(pid(n)).0.is_none());
+        }
+        let (hits, misses, _) = cache.counters();
+        assert_eq!((hits, misses), (0, 20));
+        assert_eq!(cache.capacity(), 0);
+    }
+
+    #[test]
+    fn wrong_type_is_a_counted_miss_and_reinsertable() {
+        let cache = NodeCache::new(4, 1);
+        let (_, gen) = cache.lookup::<u32>(pid(9));
+        cache.insert_if_current(pid(9), gen, Arc::new(5u32));
+        // Same page asked for as a different type: miss, entry dropped.
+        let (got, gen2) = cache.lookup::<String>(pid(9));
+        assert!(got.is_none());
+        cache.insert_if_current(pid(9), gen2, Arc::new("s".to_string()));
+        assert_eq!(cache.lookup::<String>(pid(9)).0.unwrap().as_str(), "s");
+        // Three lookups total: one counted hit, two counted misses.
+        let (hits, misses, _) = cache.counters();
+        assert_eq!((hits, misses), (1, 2));
+    }
+
+    #[test]
+    fn counters_reset() {
+        let cache = NodeCache::new(4, 2);
+        let (_, gen) = cache.lookup::<u8>(pid(3));
+        cache.insert_if_current(pid(3), gen, Arc::new(1u8));
+        cache.lookup::<u8>(pid(3));
+        cache.invalidate(pid(3));
+        assert_ne!(cache.counters(), (0, 0, 0));
+        cache.reset_counters();
+        assert_eq!(cache.counters(), (0, 0, 0));
+    }
+}

@@ -22,9 +22,13 @@
 //! illustrative `shard < pager < allocator` sketch in the original design
 //! note, which predates the allocator-holds-shard stale-frame fix; the
 //! checker exists precisely to validate the order against the code rather
-//! than the other way around.)  `STATS` is reserved at the top for a
-//! future lock-based statistics sink — today's [`crate::buffer::IoStats`]
-//! counters are atomics and take no lock.
+//! than the other way around.)  `NODE_CACHE` guards a decoded-node cache
+//! shard in [`crate::nodecache`]; it is a *leaf* lock — never held across
+//! any other acquisition — so any slot above `ALLOCATOR` would do, and it
+//! sits just below `SHARD` to mirror the layering (typed cache above the
+//! byte pool).  `STATS` is reserved at the top for a future lock-based
+//! statistics sink — today's [`crate::buffer::IoStats`] counters are
+//! atomics and take no lock.
 //!
 //! Release builds compile the checker away entirely: `acquire` is then a
 //! plain `Mutex::lock` with poison recovery.
@@ -39,15 +43,19 @@ use std::sync::{Mutex, PoisonError};
 /// Free-list / high-water-mark allocator state.  Held across pager grow
 /// and across shard frame-drop, so it must rank below both.
 pub const ALLOCATOR: u32 = 0;
+/// A decoded-node cache shard ([`crate::nodecache`]).  A leaf lock:
+/// lookups, conditional inserts and invalidations never touch another
+/// lock while holding it.
+pub const NODE_CACHE: u32 = 1;
 /// A buffer-pool shard (cache segment).  Held across pager I/O on miss,
 /// eviction, and flush.
-pub const SHARD: u32 = 1;
+pub const SHARD: u32 = 2;
 /// The backing pager (file or memory).  Innermost lock; nothing else is
 /// acquired while it is held.
-pub const PAGER: u32 = 2;
+pub const PAGER: u32 = 3;
 /// Reserved for a future lock-based statistics sink; currently unused
 /// because `IoStats` is implemented with atomics.
-pub const STATS: u32 = 3;
+pub const STATS: u32 = 4;
 
 #[cfg(debug_assertions)]
 thread_local! {
@@ -98,7 +106,7 @@ impl<T> RankedMutex<T> {
                     self.lock_rank > top_rank,
                     "lock-rank violation: acquiring `{}` (rank {}) while holding \
                      `{}` (rank {}); locks must be taken in strictly increasing \
-                     rank order (allocator < shard < pager < stats)",
+                     rank order (allocator < node cache < shard < pager < stats)",
                     self.label,
                     self.lock_rank,
                     top_label,

@@ -14,12 +14,14 @@
 //! a single shard and behaves byte-identically to the paper's sequential
 //! single-LRU setting: same eviction order, same I/O counts.
 
+use std::any::Any;
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use boxagg_common::error::Result;
 
 use crate::buffer::{BufferPool, IoStats};
+use crate::nodecache::NodeCache;
 use crate::pager::{FilePager, MemPager, PageId, Pager, DEFAULT_PAGE_SIZE};
 
 /// Where pages live.
@@ -46,6 +48,11 @@ pub struct StoreConfig {
     /// pool whose I/O counts match a sequential implementation exactly.
     /// Values above 1 shard the buffer pool for concurrency.
     pub parallelism: usize,
+    /// Capacity of the decoded-node cache in nodes; 0 disables it.
+    /// Default: 1280 (one decoded node per default buffer frame). The
+    /// cache never changes byte-level I/O accounting — see
+    /// [`SharedStore::read_node`] — so it defaults on.
+    pub node_cache_pages: usize,
 }
 
 impl Default for StoreConfig {
@@ -55,6 +62,7 @@ impl Default for StoreConfig {
             buffer_pages: 10 * 1024 * 1024 / DEFAULT_PAGE_SIZE,
             backing: Backing::Memory,
             parallelism: 1,
+            node_cache_pages: 10 * 1024 * 1024 / DEFAULT_PAGE_SIZE,
         }
     }
 }
@@ -68,12 +76,20 @@ impl StoreConfig {
             buffer_pages,
             backing: Backing::Memory,
             parallelism: 1,
+            node_cache_pages: buffer_pages,
         }
     }
 
     /// Sets the fan-out parallelism (see [`StoreConfig::parallelism`]).
     pub fn with_parallelism(mut self, threads: usize) -> Self {
         self.parallelism = threads.max(1);
+        self
+    }
+
+    /// Sets the decoded-node cache capacity; 0 disables the cache (see
+    /// [`StoreConfig::node_cache_pages`]).
+    pub fn with_node_cache(mut self, pages: usize) -> Self {
+        self.node_cache_pages = pages;
         self
     }
 
@@ -89,10 +105,12 @@ impl StoreConfig {
     }
 }
 
-/// Cheaply clonable, thread-safe handle to a shared [`BufferPool`].
+/// Cheaply clonable, thread-safe handle to a shared [`BufferPool`] plus
+/// the decoded-node cache layered above it.
 #[derive(Clone, Debug)]
 pub struct SharedStore {
     pool: Arc<BufferPool>,
+    nodes: Arc<NodeCache>,
     parallelism: usize,
 }
 
@@ -109,6 +127,7 @@ impl SharedStore {
                 config.buffer_pages,
                 config.shards(),
             )),
+            nodes: Arc::new(NodeCache::new(config.node_cache_pages, config.shards())),
             parallelism: config.parallelism.max(1),
         })
     }
@@ -117,6 +136,7 @@ impl SharedStore {
     pub fn from_pager(pager: Box<dyn Pager>, buffer_pages: usize) -> Self {
         Self {
             pool: Arc::new(BufferPool::new(pager, buffer_pages)),
+            nodes: Arc::new(NodeCache::new(buffer_pages, 1)),
             parallelism: 1,
         }
     }
@@ -144,9 +164,51 @@ impl SharedStore {
         self.pool.with_page(id, f)
     }
 
+    /// Reads page `id` as a decoded node of type `N`, consulting the
+    /// decoded-node cache before paying codec cost.
+    ///
+    /// Byte-level accounting is identical with the cache on, off, or
+    /// cold: every call performs exactly one [`with_page`] access (on a
+    /// decoded-cache hit the closure is empty), so buffer LRU order,
+    /// hit/read counters and eviction I/O are byte-for-byte what an
+    /// uncached implementation would produce. The win is purely the
+    /// skipped decode.
+    ///
+    /// Staleness is impossible by the generation protocol (see
+    /// [`crate::nodecache`]): [`write_page`](Self::write_page) and
+    /// [`free`](Self::free) bump the page's generation *after* the byte
+    /// operation completes, which both evicts the cached decode and
+    /// rejects any in-flight decode that started before the write.
+    ///
+    /// `decode` runs while the page's pool shard is locked (exactly like
+    /// a [`with_page`] closure): it must not access the store again.
+    ///
+    /// [`with_page`]: Self::with_page
+    pub fn read_node<N, F>(&self, id: PageId, decode: F) -> Result<Arc<N>>
+    where
+        N: Any + Send + Sync,
+        F: FnOnce(&[u8]) -> Result<N>,
+    {
+        let (cached, gen) = self.nodes.lookup::<N>(id);
+        if let Some(node) = cached {
+            // Byte-identity: touch the buffer pool exactly as a decoding
+            // read would, so LRU order and hit/read counts are unchanged.
+            self.pool.with_page(id, |_| ())?;
+            return Ok(node);
+        }
+        let node = Arc::new(self.pool.with_page(id, decode)??);
+        self.nodes
+            .insert_if_current(id, gen, node.clone() as Arc<dyn Any + Send + Sync>);
+        Ok(node)
+    }
+
     /// Overwrites page `id` (short payloads zero-padded).
     pub fn write_page(&self, id: PageId, bytes: &[u8]) -> Result<()> {
-        self.pool.write_page(id, bytes)
+        self.pool.write_page(id, bytes)?;
+        // Invalidate only after the byte write is visible, so a decode
+        // that survives the generation bump has seen the new bytes.
+        self.nodes.invalidate(id);
+        Ok(())
     }
 
     /// Flushes all dirty pages.
@@ -154,14 +216,20 @@ impl SharedStore {
         self.pool.flush_all()
     }
 
-    /// Current I/O statistics.
+    /// Current I/O statistics, including decoded-node cache counters.
     pub fn stats(&self) -> IoStats {
-        self.pool.stats()
+        let mut stats = self.pool.stats();
+        let (hits, misses, invalidations) = self.nodes.counters();
+        stats.decode_hits = hits;
+        stats.decode_misses = misses;
+        stats.decode_invalidations = invalidations;
+        stats
     }
 
-    /// Resets the I/O statistics.
+    /// Resets the I/O statistics (byte and decode counters).
     pub fn reset_stats(&self) {
-        self.pool.reset_stats()
+        self.pool.reset_stats();
+        self.nodes.reset_counters();
     }
 
     /// Pages ever allocated in the pager (high-water mark).
@@ -173,7 +241,11 @@ impl SharedStore {
     /// it. Errors on a double free (see
     /// [`BufferPool::free_page`]).
     pub fn free(&self, id: PageId) -> Result<()> {
-        self.pool.free_page(id)
+        self.pool.free_page(id)?;
+        // The id may be reallocated with fresh contents: drop the decoded
+        // entry and reject in-flight decodes of the old bytes.
+        self.nodes.invalidate(id);
+        Ok(())
     }
 
     /// Live (allocated minus freed) pages — the index size metric of
@@ -241,6 +313,7 @@ mod tests {
             buffer_pages: 2,
             backing: Backing::File(dir.path().join("store.db")),
             parallelism: 1,
+            node_cache_pages: 2,
         };
         let s = SharedStore::open(&cfg).unwrap();
         let ids: Vec<_> = (0..10u8)

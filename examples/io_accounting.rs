@@ -23,6 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         buffer_pages: 64, // a deliberately small buffer: 512 KiB
         backing: Backing::File(path.clone()),
         parallelism: 1,
+        node_cache_pages: 64,
     };
 
     // Build a 50k-point dominance index on disk.

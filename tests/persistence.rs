@@ -31,6 +31,7 @@ fn batree_survives_reopen() {
         buffer_pages: 16,
         backing: Backing::File(path.clone()),
         parallelism: 1,
+        node_cache_pages: 16,
     };
     let (root, len, expected): (_, _, Vec<f64>) = {
         let store = SharedStore::open(&cfg).unwrap();
@@ -76,6 +77,7 @@ fn ecdf_btree_survives_reopen() {
         buffer_pages: 8,
         backing: Backing::File(path.clone()),
         parallelism: 1,
+        node_cache_pages: 8,
     };
     let (root, len) = {
         let store = SharedStore::open(&cfg).unwrap();
