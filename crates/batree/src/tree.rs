@@ -50,7 +50,7 @@ impl<V: AggValue> BATree<V> {
     /// for polynomial tuples). It determines node fanout.
     pub fn create(store: SharedStore, space: Rect, max_value_size: usize) -> Result<Self> {
         let params = BaParams {
-            page_size: store.page_size(),
+            page_size: store.payload_size(),
             max_value_size,
         };
         params.validate(space.dim())?;
@@ -85,7 +85,7 @@ impl<V: AggValue> BATree<V> {
         points: Vec<(Point, V)>,
     ) -> Result<Self> {
         let params = BaParams {
-            page_size: store.page_size(),
+            page_size: store.payload_size(),
             max_value_size,
         };
         params.validate(space.dim())?;
@@ -128,7 +128,7 @@ impl<V: AggValue> BATree<V> {
         len: usize,
     ) -> Result<Self> {
         let params = BaParams {
-            page_size: store.page_size(),
+            page_size: store.payload_size(),
             max_value_size,
         };
         params.validate(space.dim())?;

@@ -91,6 +91,7 @@ fn main() -> boxagg_common::error::Result<()> {
             backing: Default::default(),
             parallelism: 1,
             node_cache_pages: buffer_pages,
+            checksums: true,
         };
         let store = SharedStore::open(&cfg)?;
         let mut engine = SimpleBoxSum::batree_in(args.space(), store.clone())?;

@@ -8,6 +8,8 @@
 //! runs). This module provides the common pieces: CLI parsing, scheme
 //! builders over one shared dataset, and table formatting.
 
+pub mod faultsweep;
+
 use std::time::Instant;
 
 use boxagg_batree::BATree;
@@ -113,6 +115,7 @@ impl Args {
             backing: Default::default(),
             parallelism: self.threads.max(1),
             node_cache_pages: buffer_pages,
+            checksums: true,
         }
     }
 

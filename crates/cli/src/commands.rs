@@ -101,6 +101,7 @@ pub fn build(pages: &Path, csv: &Path, space_spec: &str, page_size: usize) -> Re
         backing: Backing::File(pages.to_path_buf()),
         parallelism: 1,
         node_cache_pages: buffer_pages,
+        checksums: true,
     };
     let store = SharedStore::open(&config)?;
     let mut engine = SimpleBoxSum::batree_in(space, store.clone())?;

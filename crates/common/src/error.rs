@@ -21,6 +21,17 @@ pub enum Error {
     },
     /// A caller-supplied argument was invalid (e.g. dimension mismatch).
     InvalidArgument(String),
+    /// A page's stored checksum did not match its contents — a torn
+    /// write, bit flip or crash-truncated tail surfaced by the buffer
+    /// pool's trailer verification.
+    Corruption {
+        /// The page whose verification failed.
+        page: u64,
+        /// Checksum stored in the page trailer.
+        expected: u64,
+        /// Checksum computed over the payload actually read.
+        found: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -33,6 +44,15 @@ impl fmt::Display for Error {
                 "record of {record} bytes cannot fit in a page payload of {page} bytes"
             ),
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::Corruption {
+                page,
+                expected,
+                found,
+            } => write!(
+                f,
+                "page {page} failed checksum verification \
+                 (stored {expected:#018x}, computed {found:#018x})"
+            ),
         }
     }
 }
@@ -91,5 +111,19 @@ mod tests {
     #[test]
     fn non_io_errors_have_no_source() {
         assert!(std::error::Error::source(&corrupt("x")).is_none());
+    }
+
+    #[test]
+    fn corruption_reports_page_and_both_checksums() {
+        let e = Error::Corruption {
+            page: 17,
+            expected: 0xDEAD,
+            found: 0xBEEF,
+        };
+        let s = e.to_string();
+        assert!(s.contains("page 17"), "got: {s}");
+        assert!(s.contains("0x000000000000dead"), "got: {s}");
+        assert!(s.contains("0x000000000000beef"), "got: {s}");
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

@@ -681,7 +681,7 @@ impl<V: AggValue> EcdfBTree<V> {
             return Err(invalid_arg("dimension must be at least 1"));
         }
         let params = EcdfParams {
-            page_size: store.page_size(),
+            page_size: store.payload_size(),
             max_value_size,
         };
         params.validate(dim)?;
@@ -718,7 +718,7 @@ impl<V: AggValue> EcdfBTree<V> {
             return Err(invalid_arg("dimension must be at least 1"));
         }
         let params = EcdfParams {
-            page_size: store.page_size(),
+            page_size: store.payload_size(),
             max_value_size,
         };
         params.validate(dim)?;
@@ -771,7 +771,7 @@ impl<V: AggValue> EcdfBTree<V> {
             return Err(invalid_arg("dimension must be at least 1"));
         }
         let params = EcdfParams {
-            page_size: store.page_size(),
+            page_size: store.payload_size(),
             max_value_size,
         };
         params.validate(dim)?;

@@ -10,6 +10,7 @@
 //! | `codec-roundtrip` | R4: codec files need a `*round_trip*` test                  |
 //! | `todo`            | R5: no `todo!` / `unimplemented!` in committed code         |
 //! | `dbg`             | R5: no `dbg!` in committed code                             |
+//! | `discarded-result`| R6: no `let _ =` in `pagestore` library code                |
 //! | `bad-allow`       | meta: malformed / reason-less / unknown allow directive     |
 //!
 //! Suppression: `// lint: allow(<rule>) -- <reason>` on the same line or
@@ -29,6 +30,7 @@ pub const RULE_KEYS: &[&str] = &[
     "codec-roundtrip",
     "todo",
     "dbg",
+    "discarded-result",
 ];
 
 /// One rule violation in one file.
@@ -60,6 +62,7 @@ pub fn check(scanned: &Scanned, ctx: FileContext<'_>) -> Vec<Finding> {
     rule_unsafe(tokens, &mut raw);
     if ctx.crate_name == "pagestore" {
         rule_raw_lock(tokens, &in_test, &mut raw);
+        rule_discarded_result(tokens, &in_test, &mut raw);
     }
     if matches!(ctx.crate_name, "pagestore" | "batree" | "ecdf") {
         rule_codec_roundtrip(tokens, &in_test, &mut raw);
@@ -305,6 +308,40 @@ fn rule_raw_lock(tokens: &[Token], in_test: &dyn Fn(usize) -> bool, out: &mut Ve
     }
 }
 
+/// R6: in `pagestore` library code, no `let _ = …` — the idiom that
+/// silently discards a `Result` on the substrate's error paths (the
+/// fault-injection sweeps exist precisely because a swallowed write or
+/// sync error becomes data loss). `let _x` bindings and `_ =>` match
+/// arms are untouched; a genuinely best-effort discard must say so via
+/// `// lint: allow(discarded-result) -- <reason>`.
+fn rule_discarded_result(
+    tokens: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test(i) {
+            continue;
+        }
+        if t.is_ident("let")
+            && tokens.get(i + 1).is_some_and(|t| t.is_ident("_"))
+            && tokens
+                .get(i + 2)
+                .is_some_and(|t| t.is_punct('=') || t.is_punct(':'))
+        {
+            out.push(Finding {
+                line: t.line,
+                rule: "discarded-result",
+                message: "`let _ =` discards a value (likely a `Result`) in \
+                          `pagestore` library code; handle or propagate the \
+                          error, or justify with \
+                          `// lint: allow(discarded-result) -- <reason>`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 /// R4: a file declaring both `fn encode*` and `fn decode*` (a page
 /// codec) must carry a `*round_trip*` test.
 fn rule_codec_roundtrip(tokens: &[Token], in_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
@@ -467,6 +504,33 @@ mod tests {
         );
         // acquire() through the wrapper passes.
         assert!(rules("fn f() { let g = m.acquire(); }", "pagestore").is_empty());
+    }
+
+    #[test]
+    fn discarded_result_only_in_pagestore_library_code() {
+        let src = "fn f() { let _ = file.set_len(0); }";
+        assert_eq!(rules(src, "pagestore"), vec!["discarded-result"]);
+        assert!(rules(src, "core").is_empty(), "scoped to pagestore");
+        // Typed discards are flagged too.
+        assert_eq!(
+            rules("fn f() { let _: Result<()> = g(); }", "pagestore"),
+            vec!["discarded-result"]
+        );
+        // Named bindings and wildcard match arms are fine.
+        assert!(rules("fn f() { let _guard = m.acquire(); }", "pagestore").is_empty());
+        assert!(rules("fn f() { match x { _ => {} } }", "pagestore").is_empty());
+        // Test code is exempt.
+        assert!(rules(
+            "#[cfg(test)] mod t { fn f() { let _ = g(); } }",
+            "pagestore"
+        )
+        .is_empty());
+        // An allow with a reason suppresses.
+        let allowed = "fn f() {
+            // lint: allow(discarded-result) -- best-effort rollback
+            let _ = file.set_len(0);
+        }";
+        assert!(lint(allowed, "pagestore").is_empty());
     }
 
     #[test]

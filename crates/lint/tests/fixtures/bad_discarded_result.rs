@@ -1,0 +1,8 @@
+//! Known-bad fixture: R6 — `let _ =` discards a Result inside `pagestore`.
+// lint: crate(pagestore)
+
+use std::fs::File;
+
+pub fn truncate_quietly(f: &File) {
+    let _ = f.set_len(0);
+}

@@ -1,0 +1,21 @@
+//! Known-good fixture: R6 — justified discard, named bindings, match arms.
+// lint: crate(pagestore)
+
+use std::fs::File;
+use std::sync::Mutex;
+
+pub fn rollback_best_effort(f: &File) {
+    // lint: allow(discarded-result) -- best-effort rollback; caller sees the original error
+    let _ = f.set_len(0);
+}
+
+pub fn named_binding_is_fine(m: &Mutex<u32>) {
+    let _guard = m;
+}
+
+pub fn wildcard_arm_is_fine(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => 0,
+    }
+}

@@ -40,6 +40,7 @@ fn good_fixtures_are_clean() {
         "good_clean.rs",
         "good_allowed_unwrap.rs",
         "good_codec_round_trip.rs",
+        "good_discarded_result.rs",
     ] {
         let rules = rules_for(name);
         assert!(rules.is_empty(), "{name}: expected clean, got {rules:?}");
@@ -69,6 +70,11 @@ fn bad_unsafe_fires_r2() {
 #[test]
 fn bad_raw_lock_fires_r3() {
     assert_bad("bad_raw_lock.rs", "raw-lock");
+}
+
+#[test]
+fn bad_discarded_result_fires_r6() {
+    assert_bad("bad_discarded_result.rs", "discarded-result");
 }
 
 #[test]

@@ -28,12 +28,24 @@
 //!
 //! Page-access closures passed to [`BufferPool::with_page`] run while the
 //! page's shard is locked and therefore must not re-enter the pool.
+//!
+//! ## Checksums and the page trailer
+//!
+//! The last [`checksum::TRAILER`] bytes of every page are reserved for a
+//! checksum trailer (see [`crate::checksum`]); callers only ever see the
+//! remaining [`payload_size`](BufferPool::payload_size) bytes. The
+//! trailer is stamped on every write-back and — when verification is
+//! enabled — checked on every fetch, surfacing torn or flipped pages as
+//! [`Error::Corruption`](boxagg_common::error::Error::Corruption). The
+//! reservation is unconditional, so fan-out, page counts and byte-level
+//! I/O accounting are identical with verification on or off.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use boxagg_common::error::{invalid_arg, Result};
+use boxagg_common::error::{corrupt, invalid_arg, Error, Result};
 
+use crate::checksum;
 use crate::pager::{PageId, Pager};
 use crate::rank::{self, RankedMutex};
 
@@ -177,6 +189,12 @@ impl Shard {
 pub struct BufferPool {
     pager: RankedMutex<Box<dyn Pager>>,
     page_size: usize,
+    /// `page_size - checksum::TRAILER`: the bytes callers may use.
+    payload: usize,
+    /// Whether fetched pages are verified against their trailer.
+    checksums: bool,
+    /// Precomputed `checksum::zero_mask(payload)`.
+    zero_mask: u64,
     capacity: usize,
     shards: Box<[RankedMutex<Shard>]>,
     /// `shards.len() - 1`; shard count is a power of two.
@@ -215,11 +233,30 @@ impl BufferPool {
     }
 
     /// Creates a pool of `shards` independent LRU lists (rounded up to a
-    /// power of two) splitting `capacity` between them.
+    /// power of two) splitting `capacity` between them. Checksum
+    /// verification is on.
     pub fn with_shards(pager: Box<dyn Pager>, capacity: usize, shards: usize) -> Self {
+        Self::with_options(pager, capacity, shards, true)
+    }
+
+    /// [`with_shards`](Self::with_shards) with explicit checksum
+    /// verification. Disabling only skips the verify-on-fetch step; the
+    /// trailer is reserved and stamped either way, so payload size and
+    /// I/O accounting never depend on the setting.
+    pub fn with_options(
+        pager: Box<dyn Pager>,
+        capacity: usize,
+        shards: usize,
+        checksums: bool,
+    ) -> Self {
         assert!(capacity >= 1, "buffer pool needs at least one frame");
         let n = shards.max(1).next_power_of_two();
         let page_size = pager.page_size();
+        assert!(
+            page_size > checksum::TRAILER,
+            "page size must exceed the checksum trailer"
+        );
+        let payload = page_size - checksum::TRAILER;
         let shards: Vec<RankedMutex<Shard>> = (0..n)
             .map(|i| {
                 // Split capacity as evenly as possible, at least one
@@ -231,6 +268,9 @@ impl BufferPool {
         Self {
             pager: RankedMutex::new(rank::PAGER, "pager", pager),
             page_size,
+            payload,
+            checksums,
+            zero_mask: checksum::zero_mask(payload),
             capacity,
             shards: shards.into_boxed_slice(),
             shard_mask: (n - 1) as u64,
@@ -250,6 +290,18 @@ impl BufferPool {
     /// Page size of the underlying pager.
     pub fn page_size(&self) -> usize {
         self.page_size
+    }
+
+    /// Usable bytes per page: the page size minus the checksum trailer.
+    /// This is the slice length [`with_page`](Self::with_page) closures
+    /// see and the limit [`write_page`](Self::write_page) enforces.
+    pub fn payload_size(&self) -> usize {
+        self.payload
+    }
+
+    /// Whether fetched pages are verified against their trailer.
+    pub fn checksums(&self) -> bool {
+        self.checksums
     }
 
     /// Number of LRU shards.
@@ -327,6 +379,18 @@ impl BufferPool {
         self.pager.acquire().num_pages() - freed
     }
 
+    /// Stamps `frame`'s checksum trailer, writes it to the pager and —
+    /// only on success — counts the write and clears the dirty bit. On
+    /// error the frame is untouched apart from the (idempotent) trailer
+    /// stamp, so the write-back can be retried.
+    fn write_back(&self, frame: &mut Frame) -> Result<()> {
+        checksum::stamp(&mut frame.data, self.zero_mask);
+        self.pager.acquire().write_page(frame.id, &frame.data)?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        frame.dirty = false;
+        Ok(())
+    }
+
     /// Evicts `shard`'s LRU frame, writing it back first if dirty. On a
     /// write-back error the victim frame is left fully intact (still
     /// linked, still mapped, still dirty), so the pool stays consistent
@@ -336,11 +400,7 @@ impl BufferPool {
         debug_assert_ne!(victim, NIL);
         let id = shard.frames[victim].id;
         if shard.frames[victim].dirty {
-            self.pager
-                .acquire()
-                .write_page(id, &shard.frames[victim].data)?;
-            self.writes.fetch_add(1, Ordering::Relaxed);
-            shard.frames[victim].dirty = false;
+            self.write_back(&mut shard.frames[victim])?;
         }
         shard.detach(victim);
         shard.map.remove(&id);
@@ -384,6 +444,21 @@ impl BufferPool {
                 shard.free.push(idx);
                 return Err(e);
             }
+            if self.checksums {
+                if let Err((stored, computed)) =
+                    checksum::verify(&shard.frames[idx].data, self.zero_mask)
+                {
+                    // A corrupt page never enters the buffer (and its
+                    // fetch is not counted: only verified reads are
+                    // I/Os the caller can use).
+                    shard.free.push(idx);
+                    return Err(Error::Corruption {
+                        page: id.0,
+                        expected: stored,
+                        found: computed,
+                    });
+                }
+            }
             self.reads.fetch_add(1, Ordering::Relaxed);
         } else {
             shard.frames[idx].data.fill(0);
@@ -397,7 +472,9 @@ impl BufferPool {
 
     // -- public page access ---------------------------------------------
 
-    /// Runs `f` over the contents of page `id` (fetching it on a miss).
+    /// Runs `f` over the payload of page `id` (fetching it on a miss).
+    /// The slice is [`payload_size`](Self::payload_size) bytes long — the
+    /// checksum trailer is never exposed.
     ///
     /// `f` runs while the page's shard is locked: it must not access the
     /// pool (directly or through a [`SharedStore`](crate::store::SharedStore)
@@ -405,19 +482,21 @@ impl BufferPool {
     pub fn with_page<T>(&self, id: PageId, f: impl FnOnce(&[u8]) -> T) -> Result<T> {
         let mut shard = self.shard_for(id).acquire();
         let idx = self.frame_for(&mut shard, id, true)?;
-        Ok(f(&shard.frames[idx].data))
+        Ok(f(&shard.frames[idx].data[..self.payload]))
     }
 
-    /// Overwrites page `id` with `bytes` (shorter payloads are
-    /// zero-padded to the page size). No read I/O is incurred on a miss:
-    /// pages are always written whole.
+    /// Overwrites page `id`'s payload with `bytes` (shorter payloads are
+    /// zero-padded). No read I/O is incurred on a miss: pages are always
+    /// written whole. Payloads longer than
+    /// [`payload_size`](Self::payload_size) are rejected as
+    /// [`RecordTooLarge`](boxagg_common::error::Error::RecordTooLarge).
     pub fn write_page(&self, id: PageId, bytes: &[u8]) -> Result<()> {
-        assert!(
-            bytes.len() <= self.page_size,
-            "payload of {} bytes exceeds page size {}",
-            bytes.len(),
-            self.page_size
-        );
+        if bytes.len() > self.payload {
+            return Err(Error::RecordTooLarge {
+                record: bytes.len(),
+                page: self.payload,
+            });
+        }
         let mut shard = self.shard_for(id).acquire();
         let idx = self.frame_for(&mut shard, id, false)?;
         let data = &mut shard.frames[idx].data;
@@ -427,27 +506,101 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Writes every dirty page back to the pager and syncs it.
+    /// Writes every dirty page back to the pager, then syncs it.
+    ///
+    /// Every dirty frame is attempted even when one fails: a frame's
+    /// dirty bit is cleared only after *its* write succeeded, the first
+    /// error is remembered and returned after the full pass, and the
+    /// `sync` is attempted (and its failure reported) regardless — so
+    /// `Ok(())` always means "every page written and synced", and a
+    /// failed flush can simply be retried.
     pub fn flush_all(&self) -> Result<()> {
+        let mut first_err: Option<Error> = None;
         for shard in self.shards.iter() {
             let mut shard = shard.acquire();
             for idx in 0..shard.frames.len() {
                 if shard.frames[idx].dirty && !shard.frames[idx].id.is_null() {
-                    let id = shard.frames[idx].id;
-                    self.pager
-                        .acquire()
-                        .write_page(id, &shard.frames[idx].data)?;
-                    self.writes.fetch_add(1, Ordering::Relaxed);
-                    shard.frames[idx].dirty = false;
+                    if let Err(e) = self.write_back(&mut shard.frames[idx]) {
+                        first_err.get_or_insert(e);
+                    }
                 }
             }
         }
-        self.pager.acquire().sync()
+        let sync_res = self.pager.acquire().sync();
+        match first_err {
+            Some(e) => Err(e),
+            None => sync_res,
+        }
     }
 
     /// Number of pages currently resident in the buffer.
     pub fn resident(&self) -> usize {
         self.shards.iter().map(|s| s.acquire().map.len()).sum()
+    }
+
+    /// Checks the pool's structural invariants — intended for tests and
+    /// the fault-sweep harness after injected failures. Verifies, per
+    /// shard: the LRU list is a well-formed doubly linked list over
+    /// exactly the mapped frames, every frame is either mapped or on the
+    /// shard's free list (none leaked), free frames are truly reset, and
+    /// occupancy respects capacity. Also checks the allocator's free
+    /// list against its double-free set.
+    pub fn validate(&self) -> Result<()> {
+        for (si, shard) in self.shards.iter().enumerate() {
+            let shard = shard.acquire();
+            let fail = |msg: &str| Err(corrupt(format!("pool shard {si}: {msg}")));
+            let mut linked = 0usize;
+            let mut prev = NIL;
+            let mut idx = shard.head;
+            while idx != NIL {
+                let f = &shard.frames[idx];
+                if f.prev != prev {
+                    return fail("LRU back-link mismatch");
+                }
+                if f.id.is_null() {
+                    return fail("linked frame holds no page");
+                }
+                if shard.map.get(&f.id) != Some(&idx) {
+                    return fail("linked frame not mapped to itself");
+                }
+                linked += 1;
+                if linked > shard.frames.len() {
+                    return fail("LRU list cycles");
+                }
+                prev = idx;
+                idx = f.next;
+            }
+            if shard.tail != prev {
+                return fail("tail does not end the LRU list");
+            }
+            if linked != shard.map.len() {
+                return fail("mapped frames missing from the LRU list");
+            }
+            if shard.map.len() > shard.capacity {
+                return fail("occupancy exceeds capacity");
+            }
+            let mut free_set = HashSet::new();
+            for &i in &shard.free {
+                if !free_set.insert(i) {
+                    return fail("frame on the free list twice");
+                }
+                if !shard.frames[i].id.is_null() || shard.frames[i].dirty {
+                    return fail("free frame not reset");
+                }
+            }
+            if linked + shard.free.len() != shard.frames.len() {
+                return fail("frame leaked (neither mapped nor free)");
+            }
+        }
+        let alloc = self.alloc.acquire();
+        if alloc.free_pages.len() != alloc.freed.len()
+            || alloc.free_pages.iter().any(|id| !alloc.freed.contains(id))
+        {
+            return Err(corrupt(
+                "allocator free list and double-free set disagree".to_string(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -534,9 +687,11 @@ mod tests {
     fn short_writes_zero_pad() {
         let p = pool(2);
         let id = p.allocate().unwrap();
-        p.write_page(id, &[0xFF; 128]).unwrap();
+        let full = vec![0xFF; p.payload_size()];
+        p.write_page(id, &full).unwrap();
         p.write_page(id, &[1, 2, 3]).unwrap();
         p.with_page(id, |d| {
+            assert_eq!(d.len(), 120, "closures see the payload, not the page");
             assert_eq!(&d[..3], &[1, 2, 3]);
             assert!(
                 d[3..].iter().all(|&x| x == 0),
@@ -544,6 +699,28 @@ mod tests {
             );
         })
         .unwrap();
+    }
+
+    #[test]
+    fn oversized_writes_are_typed_errors() {
+        let p = pool(2);
+        assert_eq!(p.page_size(), 128);
+        assert_eq!(p.payload_size(), 128 - checksum::TRAILER);
+        let id = p.allocate().unwrap();
+        let err = p.write_page(id, &[0u8; 121]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::RecordTooLarge {
+                    record: 121,
+                    page: 120
+                }
+            ),
+            "got: {err}"
+        );
+        // The failed write leaves the pool valid and the page writable.
+        p.validate().unwrap();
+        p.write_page(id, &[0u8; 120]).unwrap();
     }
 
     #[test]
@@ -728,5 +905,144 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<BufferPool>();
         assert_send_sync::<IoStats>();
+    }
+
+    #[test]
+    fn validate_accepts_live_pool_states() {
+        let p = BufferPool::with_shards(Box::new(MemPager::new(128)), 6, 4);
+        p.validate().unwrap();
+        let ids: Vec<PageId> = (0..20u8).map(|i| page_with(&p, i)).collect();
+        p.validate().unwrap();
+        for &id in &ids {
+            p.with_page(id, |_| ()).unwrap();
+        }
+        p.free_page(ids[3]).unwrap();
+        p.flush_all().unwrap();
+        p.validate().unwrap();
+    }
+
+    /// Satellite regression: `flush_all` must attempt *every* dirty
+    /// frame, clear dirty bits only after their own successful write,
+    /// still sync, and leave the failed page retryable — under a pager
+    /// failing exactly the Nth write.
+    #[test]
+    fn flush_all_survives_a_failing_nth_write() {
+        use crate::fault::{is_injected, FaultPager, FaultSpec, OpFilter};
+
+        // 8 dirty pages in a single shard; fail the 3rd flush write.
+        let (pager, faults) = FaultPager::new(Box::new(MemPager::new(128)));
+        let p = BufferPool::new(Box::new(pager), 16);
+        let ids: Vec<PageId> = (0..8u8).map(|i| page_with(&p, i)).collect();
+        faults.arm(FaultSpec::error_at(OpFilter::Writes, 3));
+
+        let err = p.flush_all().unwrap_err();
+        assert!(is_injected(&err), "got: {err}");
+        // All 8 writes were attempted (7 succeeded) and sync still ran.
+        let c = faults.counts();
+        assert_eq!(c.writes, 8, "every dirty frame must be attempted");
+        assert_eq!(c.syncs, 1, "sync must run even after a failed write");
+        assert_eq!(p.stats().writes, 7, "only successful writes count");
+        p.validate().unwrap();
+
+        // Retry with the fault gone: exactly the one failed page is
+        // still dirty and gets written; flush now reports success.
+        faults.disarm();
+        p.flush_all().unwrap();
+        assert_eq!(p.stats().writes, 8);
+        assert_eq!(faults.counts().writes, 9, "only the failed page rewrote");
+
+        // Every page still carries its contents.
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(p.with_page(id, |d| d[0]).unwrap(), i as u8);
+        }
+        p.validate().unwrap();
+    }
+
+    /// A failed sync must fail the flush even when every write worked.
+    #[test]
+    fn flush_all_reports_sync_failure() {
+        use crate::fault::{is_injected, FaultPager, FaultSpec, OpFilter};
+
+        let (pager, faults) = FaultPager::new(Box::new(MemPager::new(128)));
+        let p = BufferPool::new(Box::new(pager), 4);
+        page_with(&p, 1);
+        faults.arm(FaultSpec::error_at(OpFilter::Syncs, 1));
+        let err = p.flush_all().unwrap_err();
+        assert!(is_injected(&err), "got: {err}");
+        // The write-back happened; only the sync needs retrying.
+        assert_eq!(p.stats().writes, 1);
+        p.flush_all().unwrap();
+        assert_eq!(p.stats().writes, 1, "no page was dirty on retry");
+    }
+
+    #[test]
+    fn checksummed_round_trip_through_eviction() {
+        let p = pool(2);
+        assert!(p.checksums());
+        let ids: Vec<PageId> = (0..6u8).map(|i| page_with(&p, i)).collect();
+        p.flush_all().unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(p.with_page(id, |d| d[0]).unwrap(), i as u8);
+        }
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn torn_write_surfaces_as_corruption_on_fetch() {
+        use crate::fault::{is_injected, FaultPager, FaultSpec};
+
+        let (pager, faults) = FaultPager::new(Box::new(MemPager::new(128)));
+        let p = BufferPool::new(Box::new(pager), 4);
+        let id = p.allocate().unwrap();
+        p.write_page(id, &[0xAB; 100]).unwrap();
+        // Tear the flush write after 33 bytes, then drop the frame so
+        // the next access must fetch the torn image from the pager.
+        faults.arm(FaultSpec::torn_write_at(1, 33));
+        let err = p.flush_all().unwrap_err();
+        assert!(is_injected(&err), "got: {err}");
+        faults.disarm();
+        p.free_page(id).unwrap(); // drops the (still dirty) frame
+        assert_eq!(p.allocate().unwrap(), id);
+
+        let reads_before = p.stats().reads;
+        let err = p.with_page(id, |_| ()).unwrap_err();
+        match err {
+            Error::Corruption {
+                page,
+                expected,
+                found,
+            } => {
+                assert_eq!(page, id.0);
+                assert_ne!(expected, found);
+            }
+            other => panic!("expected Corruption, got: {other}"),
+        }
+        assert_eq!(
+            p.stats().reads,
+            reads_before,
+            "a corrupt fetch is not a usable read"
+        );
+        p.validate().unwrap();
+        // The page is recoverable by rewriting it whole.
+        p.write_page(id, &[7; 10]).unwrap();
+        p.flush_all().unwrap();
+        p.free_page(id).unwrap();
+        assert_eq!(p.allocate().unwrap(), id);
+        assert_eq!(p.with_page(id, |d| d[0]).unwrap(), 7);
+    }
+
+    #[test]
+    fn verification_off_still_reserves_and_stamps_the_trailer() {
+        // A file written with verification off must be readable with it
+        // on: the trailer is stamped unconditionally.
+        let mem = MemPager::new(128);
+        let p = BufferPool::with_options(Box::new(mem), 2, 1, false);
+        assert!(!p.checksums());
+        assert_eq!(p.payload_size(), 120);
+        let ids: Vec<PageId> = (0..5u8).map(|i| page_with(&p, i)).collect();
+        p.flush_all().unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(p.with_page(id, |d| d[0]).unwrap(), i as u8);
+        }
     }
 }

@@ -1,0 +1,470 @@
+//! Deterministic fault injection for the page substrate.
+//!
+//! [`FaultPager`] wraps any [`Pager`] and fails operations according to
+//! an armed *schedule* of [`FaultSpec`]s: "fail the 3rd write", "fail
+//! every sync from the 2nd on", "tear the 7th write after 113 bytes".
+//! Operation counting is exact and deterministic — the k-th matching
+//! operation since arming fires the fault — so a sweep over k replays
+//! the same failure at every I/O index of a workload, and a failing k is
+//! reproducible in isolation. Torn prefixes can be drawn from the
+//! workspace RNG ([`FaultSpec::random_torn_write`]) so randomized sweeps
+//! are seeded, not flaky.
+//!
+//! Injected failures are typed [`Error::Io`] values whose message starts
+//! with `"injected fault"`; tests can tell them from real I/O errors.
+//!
+//! The schedule lives behind a [`RankedMutex`] at rank
+//! [`STATS`](crate::rank::STATS): pager methods are called while the
+//! pool's pager lock (rank [`PAGER`](crate::rank::PAGER)) is held, and
+//! the plan lock nests strictly inside it.
+
+use std::sync::Arc;
+
+use boxagg_common::error::{Error, Result};
+use boxagg_common::rng::StdRng;
+
+use crate::pager::{PageId, Pager};
+use crate::rank::{self, RankedMutex};
+
+/// The four pager operations a fault can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `read_page`.
+    Read,
+    /// `write_page`.
+    Write,
+    /// `sync`.
+    Sync,
+    /// `allocate`.
+    Allocate,
+}
+
+/// Which operations a [`FaultSpec`] counts and can fire on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpFilter {
+    /// Only `read_page` calls.
+    Reads,
+    /// Only `write_page` calls.
+    Writes,
+    /// Only `sync` calls.
+    Syncs,
+    /// Only `allocate` calls.
+    Allocates,
+    /// Every pager operation.
+    Any,
+}
+
+impl OpFilter {
+    fn matches(self, op: OpKind) -> bool {
+        match self {
+            OpFilter::Reads => op == OpKind::Read,
+            OpFilter::Writes => op == OpKind::Write,
+            OpFilter::Syncs => op == OpKind::Sync,
+            OpFilter::Allocates => op == OpKind::Allocate,
+            OpFilter::Any => true,
+        }
+    }
+}
+
+/// What happens when a fault fires.
+#[derive(Debug, Clone, Copy)]
+pub enum FaultMode {
+    /// The operation has no effect and reports a typed error.
+    Error,
+    /// Writes only: persist the first `prefix` bytes of the new page
+    /// image over the old contents, then report failure — a torn sector
+    /// write. `prefix == page_size` models a lost ack (fully persisted,
+    /// still reported as failed). Non-write operations treat this as
+    /// [`FaultMode::Error`].
+    TornWrite {
+        /// Bytes of the new image that reach the inner pager.
+        prefix: usize,
+    },
+}
+
+/// One entry of a fault schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSpec {
+    /// Operations this spec counts.
+    pub ops: OpFilter,
+    /// 1-based index, among matching operations since arming, at which
+    /// the fault fires.
+    pub at: u64,
+    /// `true`: fire on every matching operation from `at` onward.
+    /// `false`: fire exactly once, on the `at`-th.
+    pub sticky: bool,
+    /// Failure behavior when firing.
+    pub mode: FaultMode,
+}
+
+impl FaultSpec {
+    /// One-shot clean failure of the `at`-th operation matching `ops`.
+    pub fn error_at(ops: OpFilter, at: u64) -> Self {
+        Self {
+            ops,
+            at,
+            sticky: false,
+            mode: FaultMode::Error,
+        }
+    }
+
+    /// Sticky clean failure of every matching operation from the
+    /// `at`-th onward.
+    pub fn sticky_from(ops: OpFilter, at: u64) -> Self {
+        Self {
+            ops,
+            at,
+            sticky: true,
+            mode: FaultMode::Error,
+        }
+    }
+
+    /// One-shot torn write: the `at`-th write persists only its first
+    /// `prefix` bytes, then fails.
+    pub fn torn_write_at(at: u64, prefix: usize) -> Self {
+        Self {
+            ops: OpFilter::Writes,
+            at,
+            sticky: false,
+            mode: FaultMode::TornWrite { prefix },
+        }
+    }
+
+    /// [`torn_write_at`](Self::torn_write_at) with the prefix drawn from
+    /// the workspace RNG: reproducible for a given `seed`, never a full
+    /// page (so the tear is always observable).
+    pub fn random_torn_write(at: u64, page_size: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::torn_write_at(at, rng.gen_range(1..page_size))
+    }
+}
+
+/// Exact counts of operations that reached a [`FaultPager`] since the
+/// last [`reset_counts`](FaultHandle::reset_counts), including ones that
+/// were failed by injection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// `read_page` calls.
+    pub reads: u64,
+    /// `write_page` calls.
+    pub writes: u64,
+    /// `sync` calls.
+    pub syncs: u64,
+    /// `allocate` calls.
+    pub allocates: u64,
+}
+
+impl OpCounts {
+    /// All operations.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes + self.syncs + self.allocates
+    }
+
+    fn bump(&mut self, op: OpKind) {
+        match op {
+            OpKind::Read => self.reads += 1,
+            OpKind::Write => self.writes += 1,
+            OpKind::Sync => self.syncs += 1,
+            OpKind::Allocate => self.allocates += 1,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Armed {
+    spec: FaultSpec,
+    /// Matching operations seen since this spec was armed.
+    seen: u64,
+}
+
+#[derive(Debug, Default)]
+struct Plan {
+    specs: Vec<Armed>,
+    counts: OpCounts,
+    injected: u64,
+}
+
+/// Clonable control handle to a [`FaultPager`]'s schedule; usable while
+/// the pager itself is owned by a buffer pool.
+#[derive(Debug, Clone)]
+pub struct FaultHandle {
+    plan: Arc<RankedMutex<Plan>>,
+}
+
+impl FaultHandle {
+    /// Adds `spec` to the schedule. Its operation count starts at zero
+    /// now, regardless of traffic before arming.
+    pub fn arm(&self, spec: FaultSpec) {
+        self.plan.acquire().specs.push(Armed { spec, seen: 0 });
+    }
+
+    /// Removes every armed spec (fired or not). Counters are kept.
+    pub fn disarm(&self) {
+        self.plan.acquire().specs.clear();
+    }
+
+    /// Operation counts since construction or the last
+    /// [`reset_counts`](Self::reset_counts).
+    pub fn counts(&self) -> OpCounts {
+        self.plan.acquire().counts
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.plan.acquire().injected
+    }
+
+    /// Zeroes the operation and injection counters (armed specs keep
+    /// their own progress).
+    pub fn reset_counts(&self) {
+        let mut plan = self.plan.acquire();
+        plan.counts = OpCounts::default();
+        plan.injected = 0;
+    }
+}
+
+/// A [`Pager`] wrapper that injects deterministic failures.
+///
+/// Construct with [`FaultPager::new`], hand the pager to a buffer pool,
+/// and drive the schedule through the returned [`FaultHandle`].
+pub struct FaultPager {
+    inner: Box<dyn Pager>,
+    plan: Arc<RankedMutex<Plan>>,
+}
+
+impl std::fmt::Debug for FaultPager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPager")
+            .field("plan", &*self.plan.acquire())
+            .finish()
+    }
+}
+
+fn injected_error(op: &str) -> Error {
+    Error::Io(std::io::Error::other(format!("injected fault: {op}")))
+}
+
+/// Whether `err` was produced by fault injection (as opposed to a real
+/// I/O failure or a typed substrate error).
+pub fn is_injected(err: &Error) -> bool {
+    matches!(err, Error::Io(e) if e.to_string().starts_with("injected fault"))
+}
+
+impl FaultPager {
+    /// Wraps `inner`; the [`FaultHandle`] controls the schedule.
+    pub fn new(inner: Box<dyn Pager>) -> (Self, FaultHandle) {
+        let plan = Arc::new(RankedMutex::new(rank::STATS, "fault plan", Plan::default()));
+        let handle = FaultHandle { plan: plan.clone() };
+        (Self { inner, plan }, handle)
+    }
+
+    /// Counts `op` and returns the firing spec's mode, if any. The first
+    /// matching armed spec wins when several fire on the same operation.
+    fn decide(&self, op: OpKind) -> Option<FaultMode> {
+        let mut plan = self.plan.acquire();
+        plan.counts.bump(op);
+        let mut fire = None;
+        for armed in &mut plan.specs {
+            if !armed.spec.ops.matches(op) {
+                continue;
+            }
+            armed.seen += 1;
+            let hit = if armed.spec.sticky {
+                armed.seen >= armed.spec.at
+            } else {
+                armed.seen == armed.spec.at
+            };
+            if hit && fire.is_none() {
+                fire = Some(armed.spec.mode);
+            }
+        }
+        if fire.is_some() {
+            plan.injected += 1;
+        }
+        fire
+    }
+}
+
+impl Pager for FaultPager {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+
+    fn allocate(&mut self) -> Result<PageId> {
+        if self.decide(OpKind::Allocate).is_some() {
+            return Err(injected_error("allocate"));
+        }
+        self.inner.allocate()
+    }
+
+    fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        if self.decide(OpKind::Read).is_some() {
+            return Err(injected_error("read"));
+        }
+        self.inner.read_page(id, buf)
+    }
+
+    fn write_page(&mut self, id: PageId, data: &[u8]) -> Result<()> {
+        match self.decide(OpKind::Write) {
+            None => self.inner.write_page(id, data),
+            Some(FaultMode::Error) => Err(injected_error("write")),
+            Some(FaultMode::TornWrite { prefix }) => {
+                // Persist the new image's prefix over the old contents —
+                // exactly what a crash mid-sector-sequence leaves behind.
+                let prefix = prefix.min(data.len());
+                let mut torn = vec![0u8; data.len()];
+                self.inner.read_page(id, &mut torn)?;
+                torn[..prefix].copy_from_slice(&data[..prefix]);
+                self.inner.write_page(id, &torn)?;
+                Err(injected_error("torn write"))
+            }
+        }
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        if self.decide(OpKind::Sync).is_some() {
+            return Err(injected_error("sync"));
+        }
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    fn faulty() -> (FaultPager, FaultHandle) {
+        FaultPager::new(Box::new(MemPager::new(128)))
+    }
+
+    #[test]
+    fn counts_every_operation_kind() {
+        let (mut p, h) = faulty();
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        let buf = vec![1u8; 128];
+        p.write_page(a, &buf).unwrap();
+        p.write_page(b, &buf).unwrap();
+        p.write_page(a, &buf).unwrap();
+        let mut out = vec![0u8; 128];
+        p.read_page(b, &mut out).unwrap();
+        p.sync().unwrap();
+        let c = h.counts();
+        assert_eq!((c.allocates, c.writes, c.reads, c.syncs), (2, 3, 1, 1));
+        assert_eq!(c.total(), 7);
+        assert_eq!(h.injected(), 0);
+        h.reset_counts();
+        assert_eq!(h.counts(), OpCounts::default());
+    }
+
+    #[test]
+    fn one_shot_fires_exactly_once_at_the_nth_matching_op() {
+        let (mut p, h) = faulty();
+        let a = p.allocate().unwrap();
+        let buf = vec![7u8; 128];
+        h.arm(FaultSpec::error_at(OpFilter::Writes, 2));
+        p.write_page(a, &buf).unwrap(); // 1st write: fine
+        let err = p.write_page(a, &buf).unwrap_err(); // 2nd: injected
+        assert!(is_injected(&err), "got: {err}");
+        p.write_page(a, &buf).unwrap(); // 3rd: fine again
+        assert_eq!(h.injected(), 1);
+        // The failed write must not have touched the page.
+        let mut out = vec![0u8; 128];
+        p.read_page(a, &mut out).unwrap();
+        assert_eq!(out, buf);
+    }
+
+    #[test]
+    fn sticky_fails_every_matching_op_from_n() {
+        let (mut p, h) = faulty();
+        let a = p.allocate().unwrap();
+        h.arm(FaultSpec::sticky_from(OpFilter::Syncs, 2));
+        p.sync().unwrap();
+        assert!(p.sync().is_err());
+        assert!(p.sync().is_err());
+        // Other op kinds are untouched.
+        p.write_page(a, &[0u8; 128]).unwrap();
+        assert_eq!(h.injected(), 2);
+        // Disarming heals.
+        h.disarm();
+        p.sync().unwrap();
+    }
+
+    #[test]
+    fn filters_only_count_matching_ops() {
+        let (mut p, h) = faulty();
+        let a = p.allocate().unwrap();
+        h.arm(FaultSpec::error_at(OpFilter::Reads, 1));
+        // Dozens of non-reads never trip a read fault.
+        for _ in 0..5 {
+            p.write_page(a, &[0u8; 128]).unwrap();
+            p.sync().unwrap();
+        }
+        let mut out = vec![0u8; 128];
+        assert!(is_injected(&p.read_page(a, &mut out).unwrap_err()));
+        p.read_page(a, &mut out).unwrap();
+    }
+
+    #[test]
+    fn any_filter_counts_all_ops() {
+        let (mut p, h) = faulty();
+        h.arm(FaultSpec::error_at(OpFilter::Any, 3));
+        let a = p.allocate().unwrap(); // op 1
+        p.write_page(a, &[0u8; 128]).unwrap(); // op 2
+        assert!(p.sync().is_err()); // op 3: injected
+        p.sync().unwrap();
+    }
+
+    #[test]
+    fn torn_write_persists_exactly_the_prefix() {
+        let (mut p, h) = faulty();
+        let a = p.allocate().unwrap();
+        let old = vec![0xAAu8; 128];
+        p.write_page(a, &old).unwrap();
+        h.arm(FaultSpec::torn_write_at(1, 40));
+        let new = vec![0xBBu8; 128];
+        let err = p.write_page(a, &new).unwrap_err();
+        assert!(is_injected(&err), "got: {err}");
+        let mut out = vec![0u8; 128];
+        p.read_page(a, &mut out).unwrap();
+        assert_eq!(&out[..40], &new[..40], "prefix is the new image");
+        assert_eq!(&out[40..], &old[40..], "suffix is the old image");
+        // One-shot: a retry persists fully.
+        p.write_page(a, &new).unwrap();
+        p.read_page(a, &mut out).unwrap();
+        assert_eq!(out, new);
+    }
+
+    #[test]
+    fn random_torn_prefix_is_seeded_and_partial() {
+        let a = FaultSpec::random_torn_write(5, 8192, 42);
+        let b = FaultSpec::random_torn_write(5, 8192, 42);
+        let (FaultMode::TornWrite { prefix: pa }, FaultMode::TornWrite { prefix: pb }) =
+            (a.mode, b.mode)
+        else {
+            panic!("expected torn-write modes");
+        };
+        assert_eq!(pa, pb, "same seed, same prefix");
+        assert!((1..8192).contains(&pa));
+        let c = FaultSpec::random_torn_write(5, 8192, 43);
+        let FaultMode::TornWrite { prefix: pc } = c.mode else {
+            panic!("expected a torn-write mode");
+        };
+        assert_ne!(pa, pc, "different seeds diverge (for these seeds)");
+    }
+
+    #[test]
+    fn handle_outlives_pager_moves_and_is_cloneable() {
+        let (p, h) = faulty();
+        let h2 = h.clone();
+        let mut boxed: Box<dyn Pager> = Box::new(p);
+        boxed.allocate().unwrap();
+        assert_eq!(h.counts().allocates, 1);
+        assert_eq!(h2.counts().allocates, 1);
+    }
+}

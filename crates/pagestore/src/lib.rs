@@ -27,12 +27,15 @@
 //!   trees) share one pool so space and I/O are accounted jointly.
 
 pub mod buffer;
+pub mod checksum;
+pub mod fault;
 pub mod nodecache;
 pub mod pager;
 pub mod rank;
 pub mod store;
 
 pub use buffer::{BufferPool, IoStats};
+pub use fault::{FaultHandle, FaultPager, FaultSpec, OpFilter};
 pub use nodecache::NodeCache;
 pub use pager::{FilePager, MemPager, PageId, Pager, DEFAULT_PAGE_SIZE};
 pub use rank::{RankedGuard, RankedMutex};

@@ -305,6 +305,66 @@ impl NodeCache {
         self.misses.store(0, Ordering::Relaxed);
         self.invalidations.store(0, Ordering::Relaxed);
     }
+
+    /// Checks the cache's structural invariants — used by the
+    /// fault-sweep harness after injected failures. Per shard: the LRU
+    /// list is well-formed over exactly the mapped slots, every slot is
+    /// mapped or free (none leaked), free slots are truly emptied, live
+    /// entries hold a node, occupancy respects capacity, and no live
+    /// entry's generation exceeds the page's current generation.
+    pub fn validate(&self) -> boxagg_common::error::Result<()> {
+        use boxagg_common::error::corrupt;
+        for (si, shard) in self.shards.iter().enumerate() {
+            let shard = shard.acquire();
+            let fail = |msg: &str| Err(corrupt(format!("node cache shard {si}: {msg}")));
+            let mut linked = 0usize;
+            let mut prev = NIL;
+            let mut idx = shard.head;
+            while idx != NIL {
+                let s = &shard.slots[idx];
+                if s.prev != prev {
+                    return fail("LRU back-link mismatch");
+                }
+                if s.id.is_null() || s.node.is_none() {
+                    return fail("linked slot holds no entry");
+                }
+                if shard.map.get(&s.id) != Some(&idx) {
+                    return fail("linked slot not mapped to itself");
+                }
+                if s.gen > shard.generation(s.id) {
+                    return fail("cached generation ahead of the page's");
+                }
+                linked += 1;
+                if linked > shard.slots.len() {
+                    return fail("LRU list cycles");
+                }
+                prev = idx;
+                idx = s.next;
+            }
+            if shard.tail != prev {
+                return fail("tail does not end the LRU list");
+            }
+            if linked != shard.map.len() {
+                return fail("mapped slots missing from the LRU list");
+            }
+            if shard.map.len() > shard.capacity {
+                return fail("occupancy exceeds capacity (or a disabled shard stored an entry)");
+            }
+            let mut free_set = std::collections::HashSet::new();
+            for &i in &shard.free {
+                if !free_set.insert(i) {
+                    return fail("slot on the free list twice");
+                }
+                if !shard.slots[i].id.is_null() || shard.slots[i].node.is_some() {
+                    return fail("free slot not emptied");
+                }
+            }
+            if linked + shard.free.len() != shard.slots.len() {
+                return fail("slot leaked (neither mapped nor free)");
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

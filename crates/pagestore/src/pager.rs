@@ -177,7 +177,13 @@ impl Pager for FilePager {
     fn allocate(&mut self) -> Result<PageId> {
         let id = PageId(self.num_pages);
         self.seek_to(self.num_pages as usize)?;
-        self.file.write_all(&vec![0u8; self.page_size])?;
+        if let Err(e) = self.file.write_all(&vec![0u8; self.page_size]) {
+            // A short write would leave a misaligned tail that
+            // `open` rejects; truncate back to the last whole page.
+            // lint: allow(discarded-result) -- best-effort rollback; the write error is what the caller must see
+            let _ = self.file.set_len(self.num_pages * self.page_size as u64);
+            return Err(e.into());
+        }
         self.num_pages += 1;
         Ok(id)
     }

@@ -53,6 +53,11 @@ pub struct StoreConfig {
     /// cache never changes byte-level I/O accounting — see
     /// [`SharedStore::read_node`] — so it defaults on.
     pub node_cache_pages: usize,
+    /// Verify per-page checksums on every fetch (default: on). The
+    /// checksum trailer is reserved and stamped unconditionally — the
+    /// flag only controls verification — so payload size, page counts
+    /// and byte-level I/O are identical either way.
+    pub checksums: bool,
 }
 
 impl Default for StoreConfig {
@@ -63,6 +68,7 @@ impl Default for StoreConfig {
             backing: Backing::Memory,
             parallelism: 1,
             node_cache_pages: 10 * 1024 * 1024 / DEFAULT_PAGE_SIZE,
+            checksums: true,
         }
     }
 }
@@ -77,6 +83,7 @@ impl StoreConfig {
             backing: Backing::Memory,
             parallelism: 1,
             node_cache_pages: buffer_pages,
+            checksums: true,
         }
     }
 
@@ -90,6 +97,13 @@ impl StoreConfig {
     /// [`StoreConfig::node_cache_pages`]).
     pub fn with_node_cache(mut self, pages: usize) -> Self {
         self.node_cache_pages = pages;
+        self
+    }
+
+    /// Enables or disables checksum verification on fetch (see
+    /// [`StoreConfig::checksums`]).
+    pub fn with_checksums(mut self, on: bool) -> Self {
+        self.checksums = on;
         self
     }
 
@@ -121,24 +135,41 @@ impl SharedStore {
             Backing::Memory => Box::new(MemPager::new(config.page_size)),
             Backing::File(path) => Box::new(FilePager::create(path, config.page_size)?),
         };
-        Ok(Self {
-            pool: Arc::new(BufferPool::with_shards(
+        Ok(Self::with_pager(pager, config))
+    }
+
+    /// Wraps an explicit pager — a reopened [`FilePager`], or a
+    /// [`FaultPager`](crate::fault::FaultPager) in fault-injection
+    /// harnesses — honoring everything in `config` except `backing` and
+    /// `page_size` (the pager defines those).
+    pub fn with_pager(pager: Box<dyn Pager>, config: &StoreConfig) -> Self {
+        Self {
+            pool: Arc::new(BufferPool::with_options(
                 pager,
                 config.buffer_pages,
                 config.shards(),
+                config.checksums,
             )),
             nodes: Arc::new(NodeCache::new(config.node_cache_pages, config.shards())),
             parallelism: config.parallelism.max(1),
-        })
+        }
     }
 
-    /// Wraps an explicit pager (e.g. a reopened [`FilePager`]).
+    /// Wraps an explicit pager with defaults: single shard, checksums
+    /// on, node cache sized like the buffer.
     pub fn from_pager(pager: Box<dyn Pager>, buffer_pages: usize) -> Self {
-        Self {
-            pool: Arc::new(BufferPool::new(pager, buffer_pages)),
-            nodes: Arc::new(NodeCache::new(buffer_pages, 1)),
-            parallelism: 1,
-        }
+        let page_size = pager.page_size();
+        Self::with_pager(
+            pager,
+            &StoreConfig {
+                page_size,
+                buffer_pages,
+                backing: Backing::Memory,
+                parallelism: 1,
+                node_cache_pages: buffer_pages,
+                checksums: true,
+            },
+        )
     }
 
     /// Worker threads the corner fan-out should use (≥ 1).
@@ -146,9 +177,16 @@ impl SharedStore {
         self.parallelism
     }
 
-    /// Page size in bytes.
+    /// Page size in bytes (including the checksum trailer) — the unit of
+    /// I/O and of the Fig. 9a size metric.
     pub fn page_size(&self) -> usize {
         self.pool.page_size()
+    }
+
+    /// Usable bytes per page: [`page_size`](Self::page_size) minus the
+    /// checksum trailer. Index structures size their nodes from this.
+    pub fn payload_size(&self) -> usize {
+        self.pool.payload_size()
     }
 
     /// Allocates a fresh page.
@@ -258,6 +296,15 @@ impl SharedStore {
     pub fn size_bytes(&self) -> u64 {
         self.live_pages() * self.page_size() as u64
     }
+
+    /// Checks the structural invariants of the buffer pool and the
+    /// decoded-node cache — see [`BufferPool::validate`] and
+    /// [`NodeCache::validate`]. The fault-sweep harness calls this after
+    /// every injected failure.
+    pub fn validate(&self) -> Result<()> {
+        self.pool.validate()?;
+        self.nodes.validate()
+    }
 }
 
 #[cfg(test)]
@@ -314,6 +361,7 @@ mod tests {
             backing: Backing::File(dir.path().join("store.db")),
             parallelism: 1,
             node_cache_pages: 2,
+            checksums: true,
         };
         let s = SharedStore::open(&cfg).unwrap();
         let ids: Vec<_> = (0..10u8)

@@ -9,7 +9,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use boxagg_pagestore::{SharedStore, StoreConfig};
+use boxagg_pagestore::fault::is_injected;
+use boxagg_pagestore::{FaultPager, FaultSpec, MemPager, OpFilter, SharedStore, StoreConfig};
 
 fn store(buffer_pages: usize, cache_pages: usize) -> SharedStore {
     SharedStore::open(&StoreConfig::small(128, buffer_pages).with_node_cache(cache_pages)).unwrap()
@@ -122,6 +123,74 @@ fn no_stale_reads_after_free_and_realloc() {
         9,
         "decode cached before the free must not survive realloc"
     );
+}
+
+/// A `write_page` that fails at the pager (here: the eviction write-back
+/// it forces) must leave the decoded cache consistent with the bytes —
+/// the old decode may keep being served (the bytes are unchanged), but a
+/// successful retry must invalidate it.
+#[test]
+fn failing_write_never_leaves_stale_decode_servable() {
+    let (pager, faults) = FaultPager::new(Box::new(MemPager::new(128)));
+    let s = SharedStore::with_pager(
+        Box::new(pager),
+        &StoreConfig::small(128, 2).with_node_cache(8),
+    );
+    let a = s.allocate().unwrap();
+    let b = s.allocate().unwrap();
+    let c = s.allocate().unwrap();
+    s.write_page(a, &[1]).unwrap();
+    assert_eq!(*s.read_node::<u8, _>(a, |d| Ok(d[0])).unwrap(), 1);
+    // Push `a` out of the 2-frame pool and leave both frames dirty, so
+    // rewriting `a` must evict — and therefore write to the pager.
+    s.write_page(b, &[5]).unwrap();
+    s.write_page(c, &[6]).unwrap();
+    faults.arm(FaultSpec::sticky_from(OpFilter::Writes, 1));
+    let err = s.write_page(a, &[2]).unwrap_err();
+    assert!(is_injected(&err), "got: {err}");
+    s.validate().unwrap();
+    faults.disarm();
+    // The failed write changed nothing: decode and bytes must agree.
+    assert_eq!(s.with_page(a, |d| d[0]).unwrap(), 1);
+    assert_eq!(
+        *s.read_node::<u8, _>(a, |d| Ok(d[0])).unwrap(),
+        1,
+        "decode disagrees with the bytes after a failed write"
+    );
+    // A successful retry invalidates the cached decode of the old bytes.
+    s.write_page(a, &[2]).unwrap();
+    assert_eq!(*s.read_node::<u8, _>(a, |d| Ok(d[0])).unwrap(), 2);
+    assert_eq!(s.with_page(a, |d| d[0]).unwrap(), 2);
+    s.validate().unwrap();
+}
+
+/// `free` performs no pager I/O, so it must invalidate the decoded entry
+/// even while every pager write is failing — the reallocated id's fresh
+/// contents must never lose to a decode cached before the free.
+#[test]
+fn free_under_write_faults_still_invalidates_the_decode() {
+    let (pager, faults) = FaultPager::new(Box::new(MemPager::new(128)));
+    let s = SharedStore::with_pager(
+        Box::new(pager),
+        &StoreConfig::small(128, 4).with_node_cache(8),
+    );
+    let id = s.allocate().unwrap();
+    s.write_page(id, &[3]).unwrap();
+    assert_eq!(*s.read_node::<u8, _>(id, |d| Ok(d[0])).unwrap(), 3);
+    faults.arm(FaultSpec::sticky_from(OpFilter::Writes, 1));
+    s.free(id).unwrap();
+    let id2 = s.allocate().unwrap();
+    assert_eq!(id2, id, "free list must hand the id back for this test");
+    // Whole-page writes never read and the frame fits the pool, so this
+    // succeeds without touching the (failing) pager.
+    s.write_page(id2, &[8]).unwrap();
+    assert_eq!(
+        *s.read_node::<u8, _>(id2, |d| Ok(d[0])).unwrap(),
+        8,
+        "decode cached before the free must not survive realloc"
+    );
+    faults.disarm();
+    s.validate().unwrap();
 }
 
 /// Multi-threaded stress: writers keep rewriting their own pages while

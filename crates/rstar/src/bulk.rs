@@ -65,7 +65,7 @@ impl<L: LeafPayload> RStarTree<L> {
             )));
         }
         let params = RParams {
-            page_size: store.page_size(),
+            page_size: store.payload_size(),
             max_payload_size,
         };
         let leaf_cap = params.leaf_cap(dim);

@@ -89,7 +89,7 @@ impl<L: LeafPayload> RStarTree<L> {
             return Err(invalid_arg("dimension must be at least 1"));
         }
         let params = RParams {
-            page_size: store.page_size(),
+            page_size: store.payload_size(),
             max_payload_size,
         };
         params.validate(dim)?;

@@ -24,6 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         backing: Backing::File(path.clone()),
         parallelism: 1,
         node_cache_pages: 64,
+        checksums: true,
     };
 
     // Build a 50k-point dominance index on disk.

@@ -67,6 +67,99 @@ fn concurrent_reads_keep_exact_io_accounting() {
     assert!(s.hits > 0, "some accesses must hit");
 }
 
+/// Fault-injection stress: 8 threads hammer a read-only working set
+/// while a schedule of one-shot read faults fires underneath them.
+/// Injected failures must surface as typed errors to exactly one caller
+/// each, never count as I/O, never corrupt the pool, and the store must
+/// serve every page correctly once the schedule is spent.
+#[test]
+fn concurrent_readers_survive_injected_faults() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use boxagg::pagestore::fault::is_injected;
+    use boxagg::pagestore::{FaultPager, FaultSpec, MemPager, OpFilter};
+
+    let (pager, faults) = FaultPager::new(Box::new(MemPager::new(256)));
+    let store = SharedStore::with_pager(
+        Box::new(pager),
+        &StoreConfig::small(256, 32).with_parallelism(THREADS),
+    );
+    let pages = 128usize;
+    let ids: Vec<PageId> = (0..pages)
+        .map(|_| {
+            let id = store.allocate().unwrap();
+            store.write_page(id, &fill(id, 0)).unwrap();
+            id
+        })
+        .collect();
+    store.flush().unwrap();
+    store.reset_stats();
+    faults.reset_counts();
+    // One-shot read faults sprinkled across the whole phase. All specs
+    // count the same global op stream, so spec k fails the k-th read.
+    for k in (3..600).step_by(7) {
+        faults.arm(FaultSpec::error_at(OpFilter::Reads, k));
+    }
+
+    let successes = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let accesses_per_thread = 300usize;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let store = store.clone();
+            let ids = &ids;
+            let (successes, errors) = (&successes, &errors);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xFA017 + t as u64);
+                for _ in 0..accesses_per_thread {
+                    let id = ids[rng.gen_range(0..ids.len())];
+                    let res = store.with_page(id, |d| {
+                        assert_eq!(d[..24], fill(id, 0), "page {id:?} corrupted");
+                    });
+                    match res {
+                        Ok(()) => {
+                            successes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            assert!(is_injected(&e), "only injected faults may surface: {e}");
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    store.validate().unwrap();
+    let (ok, err) = (
+        successes.load(Ordering::Relaxed),
+        errors.load(Ordering::Relaxed),
+    );
+    assert_eq!(ok + err, (THREADS * accesses_per_thread) as u64);
+    assert_eq!(
+        err,
+        faults.injected(),
+        "every injected fault surfaces to exactly one caller"
+    );
+    assert!(
+        err > 0,
+        "the schedule must actually fire under this workload"
+    );
+    // A failed fetch is not a usable I/O: reads + hits counts exactly
+    // the successful accesses, even with faults interleaved 8 ways.
+    let s = store.stats();
+    assert_eq!(s.reads + s.hits, ok, "lost or phantom accesses: {s:?}");
+
+    // The one-shots are spent; every page is servable again, bit-intact.
+    faults.disarm();
+    for &id in &ids {
+        store
+            .with_page(id, |d| assert_eq!(d[..24], fill(id, 0)))
+            .unwrap();
+    }
+    store.validate().unwrap();
+}
+
 #[test]
 fn concurrent_mixed_traffic_preserves_content_integrity() {
     // Each thread owns a disjoint slice of pages and hammers it with

@@ -32,6 +32,7 @@ fn batree_survives_reopen() {
         backing: Backing::File(path.clone()),
         parallelism: 1,
         node_cache_pages: 16,
+        checksums: true,
     };
     let (root, len, expected): (_, _, Vec<f64>) = {
         let store = SharedStore::open(&cfg).unwrap();
@@ -78,6 +79,7 @@ fn ecdf_btree_survives_reopen() {
         backing: Backing::File(path.clone()),
         parallelism: 1,
         node_cache_pages: 8,
+        checksums: true,
     };
     let (root, len) = {
         let store = SharedStore::open(&cfg).unwrap();

@@ -30,8 +30,10 @@ fn gen_op(rng: &mut StdRng) -> Op {
 }
 
 fn run_case(capacity: usize, shards: usize, ops: &[Op]) {
-    const PAGE: usize = 128;
-    let pool = BufferPool::with_shards(Box::new(MemPager::new(PAGE)), capacity, shards);
+    let pool = BufferPool::with_shards(Box::new(MemPager::new(128)), capacity, shards);
+    // The pool exposes page *payloads* (the checksum trailer is
+    // reserved inside the page), so the model mirrors payload images.
+    let page = pool.payload_size();
     // Model: id → current contents (None = freed).
     let mut model: Vec<Option<Vec<u8>>> = Vec::new();
     let live = |m: &Vec<Option<Vec<u8>>>| -> Vec<usize> {
@@ -50,15 +52,15 @@ fn run_case(capacity: usize, shards: usize, ops: &[Op]) {
                 if idx < model.len() {
                     // Recycled page.
                     assert!(model[idx].is_none(), "allocator reused a live page");
-                    model[idx] = Some(vec![0u8; PAGE]);
+                    model[idx] = Some(vec![0u8; page]);
                 } else {
                     assert_eq!(idx, model.len(), "non-dense allocation");
-                    model.push(Some(vec![0u8; PAGE]));
+                    model.push(Some(vec![0u8; page]));
                 }
                 // Fresh/recycled pages must be written before read;
                 // write a known pattern right away like real callers.
                 pool.write_page(id, &[idx as u8; 16]).unwrap();
-                let mut img = vec![0u8; PAGE];
+                let mut img = vec![0u8; page];
                 img[..16].copy_from_slice(&[idx as u8; 16]);
                 model[idx] = Some(img);
             }
@@ -69,7 +71,7 @@ fn run_case(capacity: usize, shards: usize, ops: &[Op]) {
                 }
                 let idx = ids[i % ids.len()];
                 pool.write_page(PageId(idx as u64), &[fill; 100]).unwrap();
-                let mut img = vec![0u8; PAGE];
+                let mut img = vec![0u8; page];
                 img[..100].copy_from_slice(&[fill; 100]);
                 model[idx] = Some(img);
             }
@@ -110,6 +112,8 @@ fn run_case(capacity: usize, shards: usize, ops: &[Op]) {
             pool.resident() <= capacity + shards.saturating_sub(1),
             "capacity exceeded"
         );
+        pool.validate()
+            .expect("pool invariants must hold after every op");
     }
 
     // Final sweep: every live page readable and correct.
