@@ -4,7 +4,7 @@ use boxagg_common::error::{invalid_arg, Result};
 use boxagg_common::geom::{Point, Rect};
 use boxagg_common::traits::DominanceSumIndex;
 use boxagg_common::value::AggValue;
-use boxagg_pagestore::{PageId, SharedStore};
+use boxagg_pagestore::{PageId, RootEntry, RootKind, SharedStore};
 
 use crate::bulk;
 use crate::node::BaParams;
@@ -145,6 +145,52 @@ impl<V: AggValue> BATree<V> {
     /// The root page id (persist alongside the store to reopen the tree).
     pub fn root_page(&self) -> PageId {
         self.root
+    }
+
+    /// Publishes this tree under `name` in the store's superblock
+    /// catalog, so [`open_named`](Self::open_named) can reopen it with
+    /// no out-of-band state. Durable at the store's next
+    /// [`commit`](SharedStore::commit) (or flush), together with the
+    /// tree pages themselves. Call again after mutations to refresh the
+    /// recorded root and length.
+    pub fn persist_as(&self, name: &str) -> Result<()> {
+        let d = self.space.dim();
+        self.store.set_root(
+            name,
+            RootEntry {
+                root: self.root,
+                len: self.len as u64,
+                dims: d as u32,
+                max_value_size: self.params.max_value_size as u32,
+                kind: RootKind::BaTree,
+                bounds: (0..d)
+                    .map(|i| (self.space.low().get(i), self.space.high().get(i)))
+                    .collect(),
+            },
+        )
+    }
+
+    /// Reopens a tree published by [`persist_as`](Self::persist_as):
+    /// space, value size, root and length all come from the superblock
+    /// catalog.
+    pub fn open_named(store: SharedStore, name: &str) -> Result<Self> {
+        let entry = store
+            .root(name)?
+            .ok_or_else(|| invalid_arg(format!("no root named {name:?} in the store catalog")))?;
+        if entry.kind != RootKind::BaTree {
+            return Err(invalid_arg(format!(
+                "root {name:?} is a {:?}, not a BA-tree",
+                entry.kind
+            )));
+        }
+        let space = Rect::from_bounds(&entry.bounds);
+        Self::open_at(
+            store,
+            space,
+            entry.max_value_size as usize,
+            entry.root,
+            entry.len as usize,
+        )
     }
 
     /// The indexed space.

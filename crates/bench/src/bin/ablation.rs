@@ -92,6 +92,7 @@ fn main() -> boxagg_common::error::Result<()> {
             parallelism: 1,
             node_cache_pages: buffer_pages,
             checksums: true,
+            wal: false,
         };
         let store = SharedStore::open(&cfg)?;
         let mut engine = SimpleBoxSum::batree_in(args.space(), store.clone())?;

@@ -1,0 +1,160 @@
+//! **Crash-sweep harness** — simulated process death at every pager
+//! operation, proving the WAL + superblock commit protocol.
+//!
+//! For the `BAT` and `ECDFu` schemes this binary runs the
+//! two-transaction workload of [`boxagg_bench::crashsweep`] once
+//! cleanly to count its pager operations and locate the two commit
+//! boundaries, then re-runs it with a sticky kill armed at every swept
+//! I/O index — as a clean error and as a torn write — dropping the
+//! store without a flush and reopening cold through WAL recovery. For
+//! every index the recovered store must validate and answer
+//! bit-identically to exactly one committed state (empty, txn 1 or
+//! txn 2), never an in-between hybrid, with committed transactions
+//! never lost and uncommitted ones never surfacing.
+//!
+//! `--smoke` runs the small exhaustive configuration (every op index)
+//! and writes nothing — the CI gate. The full run scales the workload
+//! up, strides the sweep to ~1000 kill positions per mode, and writes
+//! `BENCH_PR5_CRASH.json`.
+//!
+//! Usage: `cargo run --release -p boxagg-bench --bin crashes -- \
+//!     [--n 600] [--queries 64] [--seed S] [--smoke]`
+
+use boxagg_bench::crashsweep::{run, CrashConfig, CrashReport};
+use boxagg_bench::faultsweep::SweepScheme;
+use boxagg_bench::{fmt_u64, print_table, Args};
+
+struct ModeResult {
+    scheme: &'static str,
+    mode: &'static str,
+    report: CrashReport,
+}
+
+fn sweep(cfg: &CrashConfig, mode: &'static str) -> ModeResult {
+    let report = run(cfg);
+    assert_eq!(
+        report.recovered_initial + report.recovered_txn1 + report.recovered_txn2,
+        report.ks_tested,
+        "{} {mode}: every kill must recover to exactly one committed state",
+        cfg.scheme.name()
+    );
+    assert!(
+        report.recovered_initial > 0 && report.recovered_txn1 > 0 && report.recovered_txn2 > 0,
+        "{} {mode}: the sweep must cross both commit boundaries: {report:?}",
+        cfg.scheme.name()
+    );
+    assert!(
+        report.txns_replayed > 0,
+        "{} {mode}: some kills must force a WAL replay: {report:?}",
+        cfg.scheme.name()
+    );
+    ModeResult {
+        scheme: cfg.scheme.name(),
+        mode,
+        report,
+    }
+}
+
+fn json_mode(r: &ModeResult) -> String {
+    format!(
+        concat!(
+            "    {{\"scheme\": \"{}\", \"mode\": \"{}\", \"total_ops\": {}, ",
+            "\"commit1_ops\": {}, \"commit2_ops\": {}, \"ks_tested\": {}, ",
+            "\"recovered_initial\": {}, \"recovered_txn1\": {}, \"recovered_txn2\": {}, ",
+            "\"txns_replayed\": {}, \"tails_discarded\": {}, ",
+            "\"committed_state_always_bit_identical\": true, ",
+            "\"no_committed_txn_lost\": true, \"no_uncommitted_txn_surfaced\": true}}"
+        ),
+        r.scheme,
+        r.mode,
+        r.report.total_ops,
+        r.report.commit1_ops,
+        r.report.commit2_ops,
+        r.report.ks_tested,
+        r.report.recovered_initial,
+        r.report.recovered_txn1,
+        r.report.recovered_txn2,
+        r.report.txns_replayed,
+        r.report.tails_discarded,
+    )
+}
+
+fn main() {
+    let args = Args::parse_with(600, 1);
+    let schemes = [SweepScheme::BaTree, SweepScheme::EcdfB];
+    let mut results = Vec::new();
+
+    for scheme in schemes {
+        let mut cfg = if args.smoke {
+            CrashConfig::small(scheme)
+        } else {
+            CrashConfig {
+                scheme,
+                bulk_points: args.n,
+                insert_points: args.n / 4,
+                queries: args.queries.min(64),
+                page_size: 256,
+                buffer_pages: 16,
+                seed: args.seed,
+                stride: 1,
+                torn_kills: false,
+            }
+        };
+        if !args.smoke {
+            // Probe the op count with a stride that tests only the first
+            // index, then re-stride to ~1000 kill positions per mode.
+            let probe = run(&CrashConfig {
+                stride: u64::MAX,
+                ..cfg.clone()
+            });
+            cfg.stride = (probe.total_ops / 1000).max(1);
+            println!(
+                "{}: {} pager ops, commits return at op {} and {}; striding by {}",
+                scheme.name(),
+                fmt_u64(probe.total_ops),
+                fmt_u64(probe.commit1_ops),
+                fmt_u64(probe.commit2_ops),
+                fmt_u64(cfg.stride),
+            );
+        }
+        results.push(sweep(&cfg, "kill"));
+        cfg.torn_kills = true;
+        results.push(sweep(&cfg, "torn-kill"));
+    }
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.to_string(),
+                r.mode.to_string(),
+                fmt_u64(r.report.total_ops),
+                fmt_u64(r.report.ks_tested),
+                fmt_u64(r.report.recovered_initial),
+                fmt_u64(r.report.recovered_txn1),
+                fmt_u64(r.report.recovered_txn2),
+                fmt_u64(r.report.txns_replayed),
+            ]
+        })
+        .collect();
+    print_table(
+        "Crash sweep (every kill recovers a committed state, bit-identically)",
+        &[
+            "scheme", "mode", "ops", "kills", "-> empty", "-> txn1", "-> txn2", "replays",
+        ],
+        &rows,
+    );
+
+    if args.smoke {
+        println!("\nsmoke: all crash sweeps passed");
+        return;
+    }
+
+    let body: Vec<String> = results.iter().map(json_mode).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"crashes\",\n  \"sweeps\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    std::fs::write("BENCH_PR5_CRASH.json", json).expect("write BENCH_PR5_CRASH.json");
+    println!("\nwrote BENCH_PR5_CRASH.json");
+}

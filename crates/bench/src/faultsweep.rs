@@ -124,7 +124,7 @@ pub struct SweepReport {
     pub query_failures: u64,
 }
 
-fn unit_square() -> Rect {
+pub(crate) fn unit_square() -> Rect {
     Rect::new(Point::new(&[0.0, 0.0]), Point::new(&[1.0, 1.0]))
 }
 

@@ -8,6 +8,7 @@
 //! runs). This module provides the common pieces: CLI parsing, scheme
 //! builders over one shared dataset, and table formatting.
 
+pub mod crashsweep;
 pub mod faultsweep;
 
 use std::time::Instant;
@@ -116,6 +117,7 @@ impl Args {
             parallelism: self.threads.max(1),
             node_cache_pages: buffer_pages,
             checksums: true,
+            wal: false,
         }
     }
 

@@ -1,18 +1,26 @@
 //! The CLI commands, factored for testability: every command takes plain
 //! arguments and returns its report as a `String`.
 
+use std::io::Read as _;
 use std::path::Path;
 
 use boxagg_batree::BATree;
 use boxagg_common::error::{invalid_arg, Result};
 use boxagg_common::geom::{Point, Rect};
+use boxagg_common::traits::DominanceSumIndex as _;
 use boxagg_core::engine::SimpleBoxSum;
-use boxagg_pagestore::{Backing, FilePager, SharedStore, StoreConfig};
+use boxagg_pagestore::{
+    superblock, Backing, PageId, RootEntry, RootKind, SharedStore, StoreConfig,
+};
 
-use crate::catalog::Catalog;
+/// Catalog name of the corner tree for `mask`.
+fn corner_name(mask: usize) -> String {
+    format!("corner/{mask}")
+}
 
-/// Scalar value size on pages.
-const F64_SIZE: usize = 8;
+/// Catalog name of the metadata entry holding the engine-level object
+/// count (deletes insert negations, so tree lengths overcount).
+const OBJECTS: &str = "meta/objects";
 
 /// Parses `l1,h1,l2,h2,…` into a box.
 pub fn parse_box(spec: &str) -> Result<Rect> {
@@ -60,33 +68,73 @@ pub fn parse_object(line: &str, dim: usize) -> Result<(Rect, f64)> {
     Ok((Rect::new(low, high), nums[2 * dim]))
 }
 
-fn open_engine(
-    pages: &Path,
-    buffer_mb: usize,
-) -> Result<(SimpleBoxSum<BATree<f64>>, SharedStore, Catalog)> {
-    let cat = Catalog::load(pages)?;
-    let pager = FilePager::open(pages, cat.page_size)?;
-    let buffer_pages = (buffer_mb * 1024 * 1024 / cat.page_size).max(1);
-    let store = SharedStore::from_pager(Box::new(pager), buffer_pages);
-    let engine = SimpleBoxSum::new(cat.dim, |mask| {
-        // Per-tree lengths are not tracked; the catalog holds the total.
-        BATree::open_at(store.clone(), cat.space, F64_SIZE, cat.roots[mask], 0)
-    })?;
-    Ok((engine, store, cat))
+/// Reads the page size recorded in the file's superblock prefix —
+/// needed before the store can be opened at the right geometry.
+fn stored_page_size(pages: &Path) -> Result<usize> {
+    let mut prefix = [0u8; superblock::PREFIX_LEN];
+    std::fs::File::open(pages)?.read_exact(&mut prefix)?;
+    superblock::peek_page_size(&prefix)
+        .map(|p| p as usize)
+        .ok_or_else(|| {
+            invalid_arg(format!(
+                "{} is not a boxagg store (no superblock)",
+                pages.display()
+            ))
+        })
 }
 
-fn save_catalog(
-    pages: &Path,
-    engine: &SimpleBoxSum<BATree<f64>>,
-    cat: &Catalog,
-    len: usize,
-) -> Result<()> {
-    let cat = Catalog {
-        len,
-        roots: engine.indexes().iter().map(|t| t.root_page()).collect(),
-        ..cat.clone()
-    };
-    cat.save(pages)
+fn store_config(pages: &Path, page_size: usize, buffer_mb: usize) -> StoreConfig {
+    let buffer_pages = (buffer_mb * 1024 * 1024 / page_size).max(1);
+    StoreConfig {
+        page_size,
+        buffer_pages,
+        backing: Backing::File(pages.to_path_buf()),
+        parallelism: 1,
+        node_cache_pages: buffer_pages,
+        checksums: true,
+        wal: true,
+    }
+}
+
+fn open_engine(pages: &Path, buffer_mb: usize) -> Result<(SimpleBoxSum<BATree<f64>>, SharedStore)> {
+    let page_size = stored_page_size(pages)?;
+    let store = SharedStore::open(&store_config(pages, page_size, buffer_mb))?;
+    let first = store
+        .root(&corner_name(0))?
+        .ok_or_else(|| invalid_arg(format!("{} holds no box-sum index", pages.display())))?;
+    let mut engine = SimpleBoxSum::new(first.dims as usize, |mask| {
+        BATree::open_named(store.clone(), &corner_name(mask))
+    })?;
+    if let Some(meta) = store.root(OBJECTS)? {
+        engine.restore_len(meta.len as usize);
+    }
+    Ok((engine, store))
+}
+
+/// Publishes every corner tree's current root and length plus the
+/// object count in the superblock, then commits the whole update —
+/// index pages, page allocations and catalog — as one crash-atomic WAL
+/// transaction.
+fn persist(engine: &SimpleBoxSum<BATree<f64>>, store: &SharedStore) -> Result<()> {
+    for (mask, tree) in engine.indexes().iter().enumerate() {
+        tree.persist_as(&corner_name(mask))?;
+    }
+    let d = engine.dim();
+    let space = engine.indexes()[0].space();
+    store.set_root(
+        OBJECTS,
+        RootEntry {
+            root: PageId::NULL,
+            len: engine.len() as u64,
+            dims: d as u32,
+            max_value_size: 0,
+            kind: RootKind::Meta,
+            bounds: (0..d)
+                .map(|i| (space.low().get(i), space.high().get(i)))
+                .collect(),
+        },
+    )?;
+    store.commit()
 }
 
 /// `boxagg build INDEX --csv FILE --space l1,h1,…`: builds a fresh
@@ -94,16 +142,7 @@ fn save_catalog(
 pub fn build(pages: &Path, csv: &Path, space_spec: &str, page_size: usize) -> Result<String> {
     let space = parse_box(space_spec)?;
     let dim = space.dim();
-    let buffer_pages = (64 * 1024 * 1024 / page_size).max(1);
-    let config = StoreConfig {
-        page_size,
-        buffer_pages,
-        backing: Backing::File(pages.to_path_buf()),
-        parallelism: 1,
-        node_cache_pages: buffer_pages,
-        checksums: true,
-    };
-    let store = SharedStore::open(&config)?;
+    let store = SharedStore::open(&store_config(pages, page_size, 64))?;
     let mut engine = SimpleBoxSum::batree_in(space, store.clone())?;
     let text = std::fs::read_to_string(csv)?;
     let mut n = 0usize;
@@ -117,15 +156,7 @@ pub fn build(pages: &Path, csv: &Path, space_spec: &str, page_size: usize) -> Re
         engine.insert(&rect, value)?;
         n += 1;
     }
-    store.flush()?;
-    let cat = Catalog {
-        dim,
-        page_size,
-        len: n,
-        space,
-        roots: engine.indexes().iter().map(|t| t.root_page()).collect(),
-    };
-    cat.save(pages)?;
+    persist(&engine, &store)?;
     Ok(format!(
         "built {} with {n} objects, {} pages ({:.1} MiB)",
         pages.display(),
@@ -138,12 +169,12 @@ pub fn build(pages: &Path, csv: &Path, space_spec: &str, page_size: usize) -> Re
 /// intersecting the box.
 pub fn query(pages: &Path, box_spec: &str) -> Result<String> {
     let q = parse_box(box_spec)?;
-    let (mut engine, store, cat) = open_engine(pages, 16)?;
-    if q.dim() != cat.dim {
+    let (mut engine, store) = open_engine(pages, 16)?;
+    let dim = engine.indexes()[0].dim();
+    if q.dim() != dim {
         return Err(invalid_arg(format!(
-            "query is {}-d but the index is {}-d",
+            "query is {}-d but the index is {dim}-d",
             q.dim(),
-            cat.dim
         )));
     }
     let sum = engine.query(&q)?;
@@ -153,42 +184,56 @@ pub fn query(pages: &Path, box_spec: &str) -> Result<String> {
 
 /// `boxagg insert INDEX --object l1,h1,…,value`: adds one object.
 pub fn insert(pages: &Path, object_spec: &str) -> Result<String> {
-    let (mut engine, store, cat) = open_engine(pages, 16)?;
-    let (rect, value) = parse_object(object_spec, cat.dim)?;
+    let (mut engine, store) = open_engine(pages, 16)?;
+    let (rect, value) = parse_object(object_spec, engine.dim())?;
     engine.insert(&rect, value)?;
-    store.flush()?;
-    save_catalog(pages, &engine, &cat, cat.len + 1)?;
-    Ok(format!("inserted; index now holds {} objects", cat.len + 1))
+    persist(&engine, &store)?;
+    Ok(format!(
+        "inserted; index now holds {} objects",
+        engine.len()
+    ))
 }
 
 /// `boxagg delete INDEX --object l1,h1,…,value`: removes one object
 /// (by negation; the spec must match the original insertion).
 pub fn delete(pages: &Path, object_spec: &str) -> Result<String> {
-    let (mut engine, store, cat) = open_engine(pages, 16)?;
-    let (rect, value) = parse_object(object_spec, cat.dim)?;
+    let (mut engine, store) = open_engine(pages, 16)?;
+    let (rect, value) = parse_object(object_spec, engine.dim())?;
     engine.delete(&rect, value)?;
-    store.flush()?;
-    let len = cat.len.saturating_sub(1);
-    save_catalog(pages, &engine, &cat, len)?;
-    Ok(format!("deleted; index now holds {len} objects"))
+    persist(&engine, &store)?;
+    Ok(format!("deleted; index now holds {} objects", engine.len()))
 }
 
-/// `boxagg info INDEX`: catalog and size report.
+/// `boxagg info INDEX`: superblock-catalog and size report.
 pub fn info(pages: &Path) -> Result<String> {
-    let cat = Catalog::load(pages)?;
+    let page_size = stored_page_size(pages)?;
+    let store = SharedStore::open(&store_config(pages, page_size, 16))?;
+    let meta = store
+        .root(OBJECTS)?
+        .ok_or_else(|| invalid_arg(format!("{} holds no box-sum index", pages.display())))?;
+    let dim = meta.dims as usize;
+    let space = Rect::from_bounds(&meta.bounds);
+    let roots: Vec<PageId> = (0..(1usize << dim))
+        .map(|mask| {
+            store
+                .root(&corner_name(mask))?
+                .map(|e| e.root)
+                .ok_or_else(|| invalid_arg(format!("missing corner tree {mask}")))
+        })
+        .collect::<Result<_>>()?;
     let bytes = std::fs::metadata(pages)?.len();
     let mut s = String::new();
     s.push_str(&format!("index:     {}\n", pages.display()));
-    s.push_str(&format!("dimension: {}\n", cat.dim));
-    s.push_str(&format!("objects:   {}\n", cat.len));
-    s.push_str(&format!("space:     {:?}\n", cat.space));
-    s.push_str(&format!("page size: {} B\n", cat.page_size));
+    s.push_str(&format!("dimension: {dim}\n"));
+    s.push_str(&format!("objects:   {}\n", meta.len));
+    s.push_str(&format!("space:     {space:?}\n"));
+    s.push_str(&format!("page size: {page_size} B\n"));
     s.push_str(&format!(
         "file size: {} pages ({:.1} MiB)\n",
-        bytes / cat.page_size as u64,
+        bytes / page_size as u64,
         bytes as f64 / (1024.0 * 1024.0)
     ));
-    s.push_str(&format!("corner tree roots: {:?}", cat.roots));
+    s.push_str(&format!("corner tree roots: {roots:?}"));
     Ok(s)
 }
 

@@ -5,11 +5,11 @@
 //! Implementation of the `boxagg` command-line tool.
 //!
 //! Builds, queries, updates and inspects *persistent* simple box-sum
-//! indexes (corner reduction over BA-trees in a file-backed page store,
-//! with a [`catalog`] sidecar describing the roots). The binary in
+//! indexes (corner reduction over BA-trees in a file-backed page store).
+//! All metadata — geometry, space bounds, corner-tree roots — lives in
+//! the store's page-0 superblock, published as named roots
+//! (`corner/<mask>`), so an index file is self-describing and updates
+//! commit crash-atomically through the write-ahead log. The binary in
 //! `main.rs` is a thin argument-parsing wrapper around [`commands`].
 
-pub mod catalog;
 pub mod commands;
-
-pub use catalog::Catalog;

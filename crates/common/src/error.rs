@@ -32,6 +32,29 @@ pub enum Error {
         /// Checksum computed over the payload actually read.
         found: u64,
     },
+    /// The write-ahead log is structurally invalid *inside* its
+    /// checksum-valid prefix (e.g. a commit record without a begin, or
+    /// a page image whose length disagrees with the page size). A torn
+    /// tail is *not* this error — torn tails are expected after a crash
+    /// and silently discarded by recovery.
+    WalCorrupt {
+        /// Byte offset of the offending record within the log.
+        offset: u64,
+        /// What was structurally wrong.
+        reason: String,
+    },
+    /// A store was reopened with geometry that disagrees with what its
+    /// superblock records (wrong page size, incompatible format
+    /// version). Typed so callers can distinguish misconfiguration from
+    /// on-disk corruption.
+    GeometryMismatch {
+        /// Which parameter disagreed (`"page_size"`, `"version"`, …).
+        what: &'static str,
+        /// The value recorded durably in the superblock.
+        stored: u64,
+        /// The value the caller asked to open with.
+        requested: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -52,6 +75,18 @@ impl fmt::Display for Error {
                 f,
                 "page {page} failed checksum verification \
                  (stored {expected:#018x}, computed {found:#018x})"
+            ),
+            Error::WalCorrupt { offset, reason } => {
+                write!(f, "write-ahead log corrupt at byte {offset}: {reason}")
+            }
+            Error::GeometryMismatch {
+                what,
+                stored,
+                requested,
+            } => write!(
+                f,
+                "store geometry mismatch: superblock records {what} = {stored}, \
+                 caller requested {requested}"
             ),
         }
     }
@@ -111,6 +146,31 @@ mod tests {
     #[test]
     fn non_io_errors_have_no_source() {
         assert!(std::error::Error::source(&corrupt("x")).is_none());
+    }
+
+    #[test]
+    fn wal_corrupt_reports_offset_and_reason() {
+        let e = Error::WalCorrupt {
+            offset: 4096,
+            reason: "commit without begin".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("byte 4096"), "got: {s}");
+        assert!(s.contains("commit without begin"), "got: {s}");
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn geometry_mismatch_reports_both_sides() {
+        let e = Error::GeometryMismatch {
+            what: "page_size",
+            stored: 1024,
+            requested: 4096,
+        };
+        let s = e.to_string();
+        assert!(s.contains("page_size"), "got: {s}");
+        assert!(s.contains("1024"), "got: {s}");
+        assert!(s.contains("4096"), "got: {s}");
     }
 
     #[test]

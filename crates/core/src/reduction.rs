@@ -138,6 +138,14 @@ impl<I: DominanceSumIndex<f64>> CornerBoxSum<I> {
         self.len == 0
     }
 
+    /// Restores the object count when reopening persisted indexes. The
+    /// count cannot be recovered from the corner trees themselves:
+    /// [`delete`](Self::delete) works by inserting negations, so tree
+    /// point counts overcount deleted objects.
+    pub fn restore_len(&mut self, n: usize) {
+        self.len = n;
+    }
+
     /// Dominance-sum queries issued so far (Theorem 2 instrumentation).
     pub fn queries_issued(&self) -> u64 {
         self.queries_issued

@@ -32,7 +32,7 @@ use boxagg_common::error::{corrupt, invalid_arg, Error, Result};
 use boxagg_common::geom::Point;
 use boxagg_common::traits::DominanceSumIndex;
 use boxagg_common::value::AggValue;
-use boxagg_pagestore::{PageId, SharedStore};
+use boxagg_pagestore::{PageId, RootEntry, RootKind, SharedStore};
 
 /// Which prefix of subtrees each border covers (Fig. 6).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -784,6 +784,55 @@ impl<V: AggValue> EcdfBTree<V> {
             len,
             _marker: std::marker::PhantomData,
         })
+    }
+
+    /// Publishes this tree under `name` in the store's superblock
+    /// catalog, so [`open_named`](Self::open_named) can reopen it with
+    /// no out-of-band state. The border policy is recorded as the root
+    /// kind; ECDF-B-trees have no bounding space, so the entry carries
+    /// no bounds. Call again after mutations to refresh the recorded
+    /// root and length.
+    pub fn persist_as(&self, name: &str) -> Result<()> {
+        self.store.set_root(
+            name,
+            RootEntry {
+                root: self.root,
+                len: self.len as u64,
+                dims: self.dim as u32,
+                max_value_size: self.params.max_value_size as u32,
+                kind: match self.policy {
+                    BorderPolicy::UpdateOptimized => RootKind::EcdfUpdate,
+                    BorderPolicy::QueryOptimized => RootKind::EcdfQuery,
+                },
+                bounds: Vec::new(),
+            },
+        )
+    }
+
+    /// Reopens a tree published by [`persist_as`](Self::persist_as):
+    /// dimension, policy, value size, root and length all come from the
+    /// superblock catalog.
+    pub fn open_named(store: SharedStore, name: &str) -> Result<Self> {
+        let entry = store
+            .root(name)?
+            .ok_or_else(|| invalid_arg(format!("no root named {name:?} in the store catalog")))?;
+        let policy = match entry.kind {
+            RootKind::EcdfUpdate => BorderPolicy::UpdateOptimized,
+            RootKind::EcdfQuery => BorderPolicy::QueryOptimized,
+            other => {
+                return Err(invalid_arg(format!(
+                    "root {name:?} is a {other:?}, not an ECDF-B-tree"
+                )))
+            }
+        };
+        Self::open_at(
+            store,
+            entry.dims as usize,
+            policy,
+            entry.max_value_size as usize,
+            entry.root,
+            entry.len as usize,
+        )
     }
 
     /// The border policy.

@@ -77,10 +77,15 @@ pub fn lint_source(path: &Path, src: &str) -> Vec<FileFinding> {
         .crate_override
         .clone()
         .unwrap_or_else(|| crate_of(path));
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
     rules::check(
         &scanned,
         rules::FileContext {
             crate_name: &crate_name,
+            file_name: &file_name,
         },
     )
     .into_iter()

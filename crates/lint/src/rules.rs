@@ -49,6 +49,8 @@ pub struct Finding {
 pub struct FileContext<'a> {
     /// Crate name as spelled in the path (`pagestore`, `batree`, …).
     pub crate_name: &'a str,
+    /// Bare file name (`buffer.rs`), for file-scoped rules.
+    pub file_name: &'a str,
 }
 
 /// Runs every rule over one scanned file.
@@ -65,7 +67,12 @@ pub fn check(scanned: &Scanned, ctx: FileContext<'_>) -> Vec<Finding> {
         rule_discarded_result(tokens, &in_test, &mut raw);
     }
     if matches!(ctx.crate_name, "pagestore" | "batree" | "ecdf") {
-        rule_codec_roundtrip(tokens, &in_test, &mut raw);
+        // The WAL record framing and the superblock are codecs by
+        // charter, whatever their function names: recovery depends on
+        // their byte layout, so the round-trip test is not optional.
+        let forced =
+            ctx.crate_name == "pagestore" && matches!(ctx.file_name, "wal.rs" | "superblock.rs");
+        rule_codec_roundtrip(tokens, &in_test, forced, &mut raw);
     }
     rule_todo_dbg(tokens, &mut raw);
 
@@ -343,8 +350,15 @@ fn rule_discarded_result(
 }
 
 /// R4: a file declaring both `fn encode*` and `fn decode*` (a page
-/// codec) must carry a `*round_trip*` test.
-fn rule_codec_roundtrip(tokens: &[Token], in_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
+/// codec) must carry a `*round_trip*` test. With `forced`, the file is
+/// a codec by charter (the WAL log framing, the superblock) and must
+/// carry the test even if its decode half hides behind other names.
+fn rule_codec_roundtrip(
+    tokens: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    forced: bool,
+    out: &mut Vec<Finding>,
+) {
     let mut encode_line = None;
     let mut decode_line = None;
     let mut has_round_trip_test = false;
@@ -365,17 +379,25 @@ fn rule_codec_roundtrip(tokens: &[Token], in_test: &dyn Fn(usize) -> bool, out: 
             decode_line.get_or_insert(tokens[i + 1].line);
         }
     }
-    if let (Some(_), Some(line)) = (encode_line, decode_line) {
-        if !has_round_trip_test {
-            out.push(Finding {
-                line,
-                rule: "codec-roundtrip",
-                message: "page codec (declares `fn encode*` and `fn decode*`) without \
-                          a `*round_trip*` test in this file; add one or justify with \
-                          `// lint: allow(codec-roundtrip) -- <reason>`"
-                    .to_string(),
-            });
-        }
+    let is_codec = match (encode_line, decode_line) {
+        (Some(_), Some(_)) => true,
+        _ => forced,
+    };
+    if is_codec && !has_round_trip_test {
+        let line = decode_line.or(encode_line).unwrap_or(1);
+        let what = if forced {
+            "on-disk format file (WAL framing / superblock)"
+        } else {
+            "page codec (declares `fn encode*` and `fn decode*`)"
+        };
+        out.push(Finding {
+            line,
+            rule: "codec-roundtrip",
+            message: format!(
+                "{what} without a `*round_trip*` test in this file; add one or \
+                 justify with `// lint: allow(codec-roundtrip) -- <reason>`"
+            ),
+        });
     }
 }
 
@@ -410,7 +432,17 @@ mod tests {
     use crate::lexer::scan;
 
     fn lint(src: &str, crate_name: &str) -> Vec<Finding> {
-        check(&scan(src), FileContext { crate_name })
+        lint_in(src, crate_name, "lib.rs")
+    }
+
+    fn lint_in(src: &str, crate_name: &str, file_name: &str) -> Vec<Finding> {
+        check(
+            &scan(src),
+            FileContext {
+                crate_name,
+                file_name,
+            },
+        )
     }
 
     fn rules(src: &str, crate_name: &str) -> Vec<&'static str> {
@@ -554,6 +586,30 @@ mod tests {
         assert!(rules(&with_test, "batree").is_empty());
         // encode alone (no decode) is not a codec.
         assert!(rules("fn encode(&self) {}", "batree").is_empty());
+    }
+
+    #[test]
+    fn wal_and_superblock_are_codecs_by_name() {
+        // No `fn decode*` in sight — the WAL's reader side hides behind
+        // `recover` — yet the round-trip test is still demanded.
+        let encode_only = "pub fn encode_begin(n: u32) {} pub fn recover() {}";
+        for file in ["wal.rs", "superblock.rs"] {
+            let fs = lint_in(encode_only, "pagestore", file);
+            assert_eq!(fs.len(), 1, "{file}: {fs:?}");
+            assert_eq!(fs[0].rule, "codec-roundtrip");
+        }
+        // The same source under any other name is not a codec.
+        assert!(lint_in(encode_only, "pagestore", "buffer.rs").is_empty());
+        // And the in-file round-trip test satisfies the forced rule.
+        let with_test = format!(
+            "{encode_only}
+             #[cfg(test)]
+             mod tests {{
+                 #[test]
+                 fn record_round_trip() {{}}
+             }}"
+        );
+        assert!(lint_in(&with_test, "pagestore", "wal.rs").is_empty());
     }
 
     #[test]

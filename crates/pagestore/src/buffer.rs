@@ -48,6 +48,7 @@ use boxagg_common::error::{corrupt, invalid_arg, Error, Result};
 use crate::checksum;
 use crate::pager::{PageId, Pager};
 use crate::rank::{self, RankedMutex};
+use crate::wal;
 
 /// Cumulative I/O statistics of a [`BufferPool`].
 ///
@@ -74,10 +75,18 @@ pub struct IoStats {
     /// Generation bumps from `write_page` / `free` that discarded (or
     /// pre-empted) a cached decode.
     pub decode_invalidations: u64,
+    /// Records appended to the write-ahead log by commits.
+    pub wal_appends: u64,
+    /// Write-ahead-log syncs (the durability points of the protocol).
+    pub wal_syncs: u64,
+    /// Page images replayed from the log by recovery at open.
+    pub wal_replays: u64,
 }
 
 impl IoStats {
-    /// Total I/Os: reads plus writes — the paper's reported metric.
+    /// Total I/Os: reads plus writes — the paper's reported metric. WAL
+    /// traffic is accounted separately (`wal_*`): the §6 experiments
+    /// predate the commit protocol and their I/O counts must not move.
     pub fn total(&self) -> u64 {
         self.reads + self.writes
     }
@@ -95,6 +104,9 @@ impl IoStats {
             decode_invalidations: self
                 .decode_invalidations
                 .saturating_sub(earlier.decode_invalidations),
+            wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
+            wal_syncs: self.wal_syncs.saturating_sub(earlier.wal_syncs),
+            wal_replays: self.wal_replays.saturating_sub(earlier.wal_replays),
         }
     }
 }
@@ -200,9 +212,18 @@ pub struct BufferPool {
     /// `shards.len() - 1`; shard count is a power of two.
     shard_mask: u64,
     alloc: RankedMutex<AllocState>,
+    /// Whether dirty pages go through the WAL commit protocol
+    /// ([`commit`](Self::commit)) instead of in-place write-back.
+    wal: bool,
+    /// Serializes commits; rank [`WAL`](rank::WAL), below every lock the
+    /// protocol takes.
+    commit_lock: RankedMutex<()>,
     reads: AtomicU64,
     writes: AtomicU64,
     hits: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_syncs: AtomicU64,
+    wal_replays: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -249,6 +270,24 @@ impl BufferPool {
         shards: usize,
         checksums: bool,
     ) -> Self {
+        Self::with_config(pager, capacity, shards, checksums, false)
+    }
+
+    /// [`with_options`](Self::with_options) plus the WAL switch. With
+    /// `wal` on, dirty pages are pinned in the buffer (no-steal: an
+    /// eviction never writes an uncommitted page in place) until a
+    /// [`commit`](Self::commit) streams them through the write-ahead
+    /// log; the pool soft-exceeds its capacity when every frame of a
+    /// shard is dirty. With `wal` off (the default everywhere else),
+    /// behavior — including every I/O count — is byte-identical to the
+    /// pre-WAL pool.
+    pub fn with_config(
+        pager: Box<dyn Pager>,
+        capacity: usize,
+        shards: usize,
+        checksums: bool,
+        wal: bool,
+    ) -> Self {
         assert!(capacity >= 1, "buffer pool needs at least one frame");
         let n = shards.max(1).next_power_of_two();
         let page_size = pager.page_size();
@@ -275,9 +314,14 @@ impl BufferPool {
             shards: shards.into_boxed_slice(),
             shard_mask: (n - 1) as u64,
             alloc: RankedMutex::new(rank::ALLOCATOR, "page allocator", AllocState::default()),
+            wal,
+            commit_lock: RankedMutex::new(rank::WAL, "commit", ()),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            wal_appends: AtomicU64::new(0),
+            wal_syncs: AtomicU64::new(0),
+            wal_replays: AtomicU64::new(0),
         }
     }
 
@@ -304,6 +348,18 @@ impl BufferPool {
         self.checksums
     }
 
+    /// Whether the pool runs the WAL commit protocol.
+    pub fn wal(&self) -> bool {
+        self.wal
+    }
+
+    /// Folds `n` recovery replays into the statistics (called by
+    /// [`SharedStore::open`](crate::store::SharedStore::open) after
+    /// [`wal::recover`](crate::wal::recover) ran below the pool).
+    pub fn note_wal_replays(&self, n: u64) {
+        self.wal_replays.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Number of LRU shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
@@ -326,6 +382,9 @@ impl BufferPool {
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
+            wal_replays: self.wal_replays.load(Ordering::Relaxed),
             ..IoStats::default()
         }
     }
@@ -336,6 +395,9 @@ impl BufferPool {
         self.reads.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
         self.hits.store(0, Ordering::Relaxed);
+        self.wal_appends.store(0, Ordering::Relaxed);
+        self.wal_syncs.store(0, Ordering::Relaxed);
+        self.wal_replays.store(0, Ordering::Relaxed);
     }
 
     /// Allocates a page, reusing a previously freed one when available.
@@ -409,6 +471,26 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Evicts the least-recently-used *clean* frame of `shard`, if any —
+    /// the WAL pool's no-steal eviction: uncommitted dirty pages must
+    /// never reach the data file outside a commit, so dirty frames are
+    /// pinned and eviction considers clean victims only.
+    fn evict_clean(&self, shard: &mut Shard) -> bool {
+        let mut idx = shard.tail;
+        while idx != NIL {
+            if !shard.frames[idx].dirty {
+                let id = shard.frames[idx].id;
+                shard.detach(idx);
+                shard.map.remove(&id);
+                shard.frames[idx].id = PageId::NULL;
+                shard.free.push(idx);
+                return true;
+            }
+            idx = shard.frames[idx].prev;
+        }
+        false
+    }
+
     /// Returns the frame index for `id` in `shard`, fetching
     /// (`fetch = true`) or zero-filling (`fetch = false`, for whole-page
     /// overwrites) on a miss.
@@ -418,7 +500,17 @@ impl BufferPool {
             shard.touch(idx);
             return Ok(idx);
         }
-        if shard.map.len() >= shard.capacity {
+        if self.wal {
+            // No-steal: evict clean frames (also shrinking back after a
+            // commit cleaned an over-capacity shard); when every frame
+            // is dirty, soft-exceed capacity rather than leak an
+            // uncommitted image in place.
+            while shard.map.len() >= shard.capacity {
+                if !self.evict_clean(shard) {
+                    break;
+                }
+            }
+        } else if shard.map.len() >= shard.capacity {
             self.evict_one(shard)?;
         }
         let idx = match shard.free.pop() {
@@ -506,6 +598,89 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Makes every dirty page durable, atomically when the pool runs
+    /// the WAL protocol.
+    ///
+    /// Without WAL this is [`flush_all`](Self::flush_all). With WAL it
+    /// is the commit boundary: every dirty page image is streamed to
+    /// the write-ahead log (begin / per-page / commit records, each
+    /// FNV-checksummed), the log is synced — the durability point —
+    /// then the images are written in place, the data file is synced,
+    /// and the log is truncated. A crash anywhere in between recovers
+    /// to exactly the pre-commit or post-commit state: before the log
+    /// sync the partial transaction has no commit record and is
+    /// discarded; after it, recovery replays the full physical images.
+    ///
+    /// A frame's dirty bit is cleared only if its bytes still equal the
+    /// committed image (a concurrent writer may have moved on — its
+    /// update then belongs to the *next* commit). Errors leave every
+    /// dirty bit set, so a failed commit can simply be retried.
+    pub fn commit(&self) -> Result<()> {
+        if !self.wal {
+            return self.flush_all_inner();
+        }
+        let _commit = self.commit_lock.acquire();
+        // Snapshot every dirty frame's physical image, trailer stamped.
+        let mut txn: Vec<(PageId, Box<[u8]>)> = Vec::new();
+        for shard in self.shards.iter() {
+            let mut shard = shard.acquire();
+            for idx in 0..shard.frames.len() {
+                let f = &mut shard.frames[idx];
+                if f.dirty && !f.id.is_null() {
+                    checksum::stamp(&mut f.data, self.zero_mask);
+                    txn.push((f.id, f.data.clone()));
+                }
+            }
+        }
+        txn.sort_by_key(|&(id, _)| id);
+        {
+            let mut pager = self.pager.acquire();
+            if txn.is_empty() {
+                // Nothing to log; still honor "commit means durable".
+                return pager.sync();
+            }
+            // 1. Log the whole transaction, then sync the log: the
+            //    commit record hitting stable storage is the atomicity
+            //    point.
+            pager.wal_append(&wal::encode_begin(txn.len() as u32))?;
+            self.wal_appends.fetch_add(1, Ordering::Relaxed);
+            for (id, image) in &txn {
+                pager.wal_append(&wal::encode_page(*id, image))?;
+                self.wal_appends.fetch_add(1, Ordering::Relaxed);
+            }
+            pager.wal_append(&wal::encode_commit())?;
+            self.wal_appends.fetch_add(1, Ordering::Relaxed);
+            pager.wal_sync()?;
+            self.wal_syncs.fetch_add(1, Ordering::Relaxed);
+            // 2. Write the same images in place and sync the data file.
+            for (id, image) in &txn {
+                pager.write_page(*id, image)?;
+                self.writes.fetch_add(1, Ordering::Relaxed);
+            }
+            pager.sync()?;
+            // 3. The transaction is fully applied: drop the log.
+            pager.wal_truncate()?;
+            pager.wal_sync()?;
+            self.wal_syncs.fetch_add(1, Ordering::Relaxed);
+        }
+        // 4. Un-dirty exactly the frames whose bytes we committed.
+        let committed: HashMap<PageId, &[u8]> = txn.iter().map(|(id, d)| (*id, &d[..])).collect();
+        for shard in self.shards.iter() {
+            let mut shard = shard.acquire();
+            for idx in 0..shard.frames.len() {
+                let f = &mut shard.frames[idx];
+                if f.dirty && !f.id.is_null() {
+                    if let Some(&image) = committed.get(&f.id) {
+                        if image == &f.data[..] {
+                            f.dirty = false;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Writes every dirty page back to the pager, then syncs it.
     ///
     /// Every dirty frame is attempted even when one fails: a frame's
@@ -514,7 +689,18 @@ impl BufferPool {
     /// `sync` is attempted (and its failure reported) regardless — so
     /// `Ok(())` always means "every page written and synced", and a
     /// failed flush can simply be retried.
+    ///
+    /// On a WAL pool this delegates to [`commit`](Self::commit):
+    /// writing uncommitted dirty pages in place would break the
+    /// no-steal invariant recovery depends on.
     pub fn flush_all(&self) -> Result<()> {
+        if self.wal {
+            return self.commit();
+        }
+        self.flush_all_inner()
+    }
+
+    fn flush_all_inner(&self) -> Result<()> {
         let mut first_err: Option<Error> = None;
         for shard in self.shards.iter() {
             let mut shard = shard.acquire();
@@ -576,7 +762,10 @@ impl BufferPool {
             if linked != shard.map.len() {
                 return fail("mapped frames missing from the LRU list");
             }
-            if shard.map.len() > shard.capacity {
+            // A WAL pool pins dirty frames (no-steal) and may therefore
+            // legitimately exceed capacity until the next commit + miss
+            // shrinks it back; the bound only holds strictly without WAL.
+            if !self.wal && shard.map.len() > shard.capacity {
                 return fail("occupancy exceeds capacity");
             }
             let mut free_set = HashSet::new();
@@ -860,6 +1049,18 @@ mod tests {
         fn sync(&mut self) -> Result<()> {
             Ok(())
         }
+        fn wal_append(&mut self, bytes: &[u8]) -> Result<()> {
+            self.inner.wal_append(bytes)
+        }
+        fn wal_sync(&mut self) -> Result<()> {
+            self.inner.wal_sync()
+        }
+        fn wal_truncate(&mut self) -> Result<()> {
+            self.inner.wal_truncate()
+        }
+        fn wal_read(&mut self) -> Result<Vec<u8>> {
+            self.inner.wal_read()
+        }
     }
 
     #[test]
@@ -1029,6 +1230,125 @@ mod tests {
         p.free_page(id).unwrap();
         assert_eq!(p.allocate().unwrap(), id);
         assert_eq!(p.with_page(id, |d| d[0]).unwrap(), 7);
+    }
+
+    fn wal_pool(cap: usize) -> (BufferPool, crate::fault::FaultHandle) {
+        let (pager, faults) = crate::fault::FaultPager::new(Box::new(MemPager::new(128)));
+        let p = BufferPool::with_config(Box::new(pager), cap, 1, true, true);
+        (p, faults)
+    }
+
+    #[test]
+    fn wal_pool_never_steals_dirty_pages() {
+        let (p, faults) = wal_pool(2);
+        assert!(p.wal());
+        let ids: Vec<PageId> = (0..6u8).map(|i| page_with(&p, i)).collect();
+        // All six dirty pages are resident: no-steal pinned them past
+        // capacity, and not one reached the data file.
+        assert_eq!(p.resident(), 6);
+        assert_eq!(faults.counts().writes, 0, "no in-place write before commit");
+        p.validate().unwrap();
+
+        p.commit().unwrap();
+        let c = faults.counts();
+        assert_eq!(c.writes, 6, "commit wrote every dirty page in place");
+        assert_eq!(c.wal_appends, 8, "begin + 6 images + commit");
+        assert_eq!(
+            c.wal_syncs, 2,
+            "once at the atomicity point, once after truncate"
+        );
+        assert_eq!(c.wal_truncates, 1);
+        let s = p.stats();
+        assert_eq!((s.wal_appends, s.wal_syncs, s.writes), (8, 2, 6));
+
+        // Post-commit frames are clean: the next miss shrinks the shard
+        // back within capacity by evicting clean frames without I/O.
+        let extra = page_with(&p, 9);
+        assert!(p.resident() <= 2, "clean eviction shrinks to capacity");
+        p.validate().unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(p.with_page(id, |d| d[0]).unwrap(), i as u8);
+        }
+        assert_eq!(p.with_page(extra, |d| d[0]).unwrap(), 9);
+        // Accounting invariant holds across WAL traffic.
+        let s = p.stats();
+        assert!(s.reads > 0);
+    }
+
+    #[test]
+    fn empty_commit_only_syncs() {
+        let (p, faults) = wal_pool(2);
+        page_with(&p, 1);
+        p.commit().unwrap();
+        faults.reset_counts();
+        p.commit().unwrap();
+        let c = faults.counts();
+        assert_eq!(c.wal_appends, 0, "nothing dirty, nothing logged");
+        assert_eq!(c.writes, 0);
+        assert_eq!(c.syncs, 1, "commit still means durable");
+    }
+
+    #[test]
+    fn commit_trace_is_write_ahead() {
+        let (p, faults) = wal_pool(4);
+        page_with(&p, 1);
+        page_with(&p, 2);
+        faults.start_trace();
+        p.commit().unwrap();
+        let trace = faults.take_trace();
+        let first_wal_sync = trace
+            .iter()
+            .position(|&op| op == crate::fault::OpKind::WalSync)
+            .expect("commit must sync the log");
+        for (i, &op) in trace.iter().enumerate() {
+            match op {
+                crate::fault::OpKind::WalAppend => {
+                    assert!(i < first_wal_sync, "append after the log sync")
+                }
+                crate::fault::OpKind::Write | crate::fault::OpKind::Sync => {
+                    assert!(i > first_wal_sync, "in-place I/O before the log was synced")
+                }
+                crate::fault::OpKind::WalTruncate => {
+                    let last_sync = trace
+                        .iter()
+                        .rposition(|&o| o == crate::fault::OpKind::Sync)
+                        .expect("data sync must happen");
+                    assert!(i > last_sync, "log truncated before the data sync");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn failed_commit_keeps_frames_dirty_and_retries() {
+        use crate::fault::{is_injected, FaultSpec, OpFilter};
+        let (p, faults) = wal_pool(4);
+        let ids: Vec<PageId> = (0..3u8).map(|i| page_with(&p, i)).collect();
+        faults.arm(FaultSpec::error_at(OpFilter::Writes, 2));
+        let err = p.commit().unwrap_err();
+        assert!(is_injected(&err), "got: {err}");
+        p.validate().unwrap();
+        // Retry commits the full transaction; contents intact.
+        faults.disarm();
+        p.commit().unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(p.with_page(id, |d| d[0]).unwrap(), i as u8);
+        }
+        // Nothing left dirty: a third commit logs nothing.
+        faults.reset_counts();
+        p.commit().unwrap();
+        assert_eq!(faults.counts().wal_appends, 0);
+    }
+
+    #[test]
+    fn flush_all_on_a_wal_pool_routes_through_commit() {
+        let (p, faults) = wal_pool(4);
+        page_with(&p, 5);
+        p.flush_all().unwrap();
+        let c = faults.counts();
+        assert_eq!(c.wal_appends, 3, "flush on a WAL pool is a commit");
+        assert_eq!(c.writes, 1);
     }
 
     #[test]

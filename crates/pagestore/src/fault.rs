@@ -26,7 +26,8 @@ use boxagg_common::rng::StdRng;
 use crate::pager::{PageId, Pager};
 use crate::rank::{self, RankedMutex};
 
-/// The four pager operations a fault can target.
+/// The pager operations a fault can target (data-page ops plus the
+/// write-ahead-log byte-stream ops).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpKind {
     /// `read_page`.
@@ -37,6 +38,14 @@ pub enum OpKind {
     Sync,
     /// `allocate`.
     Allocate,
+    /// `wal_append`.
+    WalAppend,
+    /// `wal_sync`.
+    WalSync,
+    /// `wal_truncate`.
+    WalTruncate,
+    /// `wal_read`.
+    WalRead,
 }
 
 /// Which operations a [`FaultSpec`] counts and can fire on.
@@ -50,7 +59,15 @@ pub enum OpFilter {
     Syncs,
     /// Only `allocate` calls.
     Allocates,
-    /// Every pager operation.
+    /// Only `wal_append` calls.
+    WalAppends,
+    /// Only `wal_sync` calls.
+    WalSyncs,
+    /// Only `wal_truncate` calls.
+    WalTruncates,
+    /// Only `wal_read` calls.
+    WalReads,
+    /// Every pager operation, WAL traffic included.
     Any,
 }
 
@@ -61,6 +78,10 @@ impl OpFilter {
             OpFilter::Writes => op == OpKind::Write,
             OpFilter::Syncs => op == OpKind::Sync,
             OpFilter::Allocates => op == OpKind::Allocate,
+            OpFilter::WalAppends => op == OpKind::WalAppend,
+            OpFilter::WalSyncs => op == OpKind::WalSync,
+            OpFilter::WalTruncates => op == OpKind::WalTruncate,
+            OpFilter::WalReads => op == OpKind::WalRead,
             OpFilter::Any => true,
         }
     }
@@ -71,10 +92,12 @@ impl OpFilter {
 pub enum FaultMode {
     /// The operation has no effect and reports a typed error.
     Error,
-    /// Writes only: persist the first `prefix` bytes of the new page
-    /// image over the old contents, then report failure — a torn sector
-    /// write. `prefix == page_size` models a lost ack (fully persisted,
-    /// still reported as failed). Non-write operations treat this as
+    /// Writes and WAL appends only: persist the first `prefix` bytes of
+    /// the new page image (resp. appended record) then report failure —
+    /// a torn sector write. `prefix == page_size` models a lost ack
+    /// (fully persisted, still reported as failed); for a `wal_append`
+    /// the prefix is clamped to the record length, leaving a torn log
+    /// tail for recovery to discard. Other operations treat this as
     /// [`FaultMode::Error`].
     TornWrite {
         /// Bytes of the new image that reach the inner pager.
@@ -152,12 +175,28 @@ pub struct OpCounts {
     pub syncs: u64,
     /// `allocate` calls.
     pub allocates: u64,
+    /// `wal_append` calls.
+    pub wal_appends: u64,
+    /// `wal_sync` calls.
+    pub wal_syncs: u64,
+    /// `wal_truncate` calls.
+    pub wal_truncates: u64,
+    /// `wal_read` calls.
+    pub wal_reads: u64,
 }
 
 impl OpCounts {
-    /// All operations.
+    /// All operations, WAL traffic included (the sweep index space of
+    /// `OpFilter::Any`).
     pub fn total(&self) -> u64 {
-        self.reads + self.writes + self.syncs + self.allocates
+        self.reads
+            + self.writes
+            + self.syncs
+            + self.allocates
+            + self.wal_appends
+            + self.wal_syncs
+            + self.wal_truncates
+            + self.wal_reads
     }
 
     fn bump(&mut self, op: OpKind) {
@@ -166,6 +205,10 @@ impl OpCounts {
             OpKind::Write => self.writes += 1,
             OpKind::Sync => self.syncs += 1,
             OpKind::Allocate => self.allocates += 1,
+            OpKind::WalAppend => self.wal_appends += 1,
+            OpKind::WalSync => self.wal_syncs += 1,
+            OpKind::WalTruncate => self.wal_truncates += 1,
+            OpKind::WalRead => self.wal_reads += 1,
         }
     }
 }
@@ -182,6 +225,8 @@ struct Plan {
     specs: Vec<Armed>,
     counts: OpCounts,
     injected: u64,
+    /// `Some` while tracing: the exact operation sequence, in order.
+    trace: Option<Vec<OpKind>>,
 }
 
 /// Clonable control handle to a [`FaultPager`]'s schedule; usable while
@@ -220,6 +265,19 @@ impl FaultHandle {
         let mut plan = self.plan.acquire();
         plan.counts = OpCounts::default();
         plan.injected = 0;
+    }
+
+    /// Starts recording the exact operation sequence (clearing any
+    /// previous trace). Used by ordering tests — e.g. "every data-page
+    /// write of a commit is preceded by a WAL sync".
+    pub fn start_trace(&self) {
+        self.plan.acquire().trace = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the operations seen since
+    /// [`start_trace`](Self::start_trace), in execution order.
+    pub fn take_trace(&self) -> Vec<OpKind> {
+        self.plan.acquire().trace.take().unwrap_or_default()
     }
 }
 
@@ -263,6 +321,9 @@ impl FaultPager {
     fn decide(&self, op: OpKind) -> Option<FaultMode> {
         let mut plan = self.plan.acquire();
         plan.counts.bump(op);
+        if let Some(trace) = plan.trace.as_mut() {
+            trace.push(op);
+        }
         let mut fire = None;
         for armed in &mut plan.specs {
             if !armed.spec.ops.matches(op) {
@@ -330,6 +391,41 @@ impl Pager for FaultPager {
             return Err(injected_error("sync"));
         }
         self.inner.sync()
+    }
+
+    fn wal_append(&mut self, bytes: &[u8]) -> Result<()> {
+        match self.decide(OpKind::WalAppend) {
+            None => self.inner.wal_append(bytes),
+            Some(FaultMode::Error) => Err(injected_error("wal append")),
+            Some(FaultMode::TornWrite { prefix }) => {
+                // Persist a prefix of the record — a torn log tail that
+                // recovery must detect by checksum and discard.
+                let prefix = prefix.min(bytes.len());
+                self.inner.wal_append(&bytes[..prefix])?;
+                Err(injected_error("torn wal append"))
+            }
+        }
+    }
+
+    fn wal_sync(&mut self) -> Result<()> {
+        if self.decide(OpKind::WalSync).is_some() {
+            return Err(injected_error("wal sync"));
+        }
+        self.inner.wal_sync()
+    }
+
+    fn wal_truncate(&mut self) -> Result<()> {
+        if self.decide(OpKind::WalTruncate).is_some() {
+            return Err(injected_error("wal truncate"));
+        }
+        self.inner.wal_truncate()
+    }
+
+    fn wal_read(&mut self) -> Result<Vec<u8>> {
+        if self.decide(OpKind::WalRead).is_some() {
+            return Err(injected_error("wal read"));
+        }
+        self.inner.wal_read()
     }
 }
 
@@ -456,6 +552,82 @@ mod tests {
             panic!("expected a torn-write mode");
         };
         assert_ne!(pa, pc, "different seeds diverge (for these seeds)");
+    }
+
+    #[test]
+    fn counts_and_filters_wal_operations() {
+        let (mut p, h) = faulty();
+        p.wal_append(b"aaa").unwrap();
+        p.wal_append(b"bbb").unwrap();
+        p.wal_sync().unwrap();
+        assert_eq!(p.wal_read().unwrap(), b"aaabbb");
+        p.wal_truncate().unwrap();
+        let c = h.counts();
+        assert_eq!(
+            (c.wal_appends, c.wal_syncs, c.wal_reads, c.wal_truncates),
+            (2, 1, 1, 1)
+        );
+        assert_eq!(c.total(), 5);
+        // Targeted filters hit only their own kind.
+        h.arm(FaultSpec::error_at(OpFilter::WalSyncs, 1));
+        p.wal_append(b"x").unwrap();
+        assert!(is_injected(&p.wal_sync().unwrap_err()));
+        p.wal_sync().unwrap();
+        h.arm(FaultSpec::error_at(OpFilter::WalTruncates, 1));
+        assert!(is_injected(&p.wal_truncate().unwrap_err()));
+        h.arm(FaultSpec::error_at(OpFilter::WalReads, 1));
+        assert!(is_injected(&p.wal_read().unwrap_err()));
+    }
+
+    #[test]
+    fn torn_wal_append_persists_exactly_the_prefix() {
+        let (mut p, h) = faulty();
+        p.wal_append(b"good").unwrap();
+        h.arm(FaultSpec {
+            ops: OpFilter::WalAppends,
+            at: 1,
+            sticky: false,
+            mode: FaultMode::TornWrite { prefix: 3 },
+        });
+        let err = p.wal_append(b"torn-record").unwrap_err();
+        assert!(is_injected(&err), "got: {err}");
+        assert_eq!(p.wal_read().unwrap(), b"goodtor", "3-byte torn tail");
+        // Non-append WAL ops treat TornWrite as a clean error.
+        h.arm(FaultSpec {
+            ops: OpFilter::WalSyncs,
+            at: 1,
+            sticky: false,
+            mode: FaultMode::TornWrite { prefix: 1 },
+        });
+        assert!(is_injected(&p.wal_sync().unwrap_err()));
+        assert_eq!(p.wal_read().unwrap(), b"goodtor", "sync tore nothing");
+    }
+
+    #[test]
+    fn trace_records_the_exact_op_sequence() {
+        let (mut p, h) = faulty();
+        p.allocate().unwrap(); // before the trace: not recorded
+        h.start_trace();
+        let a = PageId(0);
+        p.wal_append(b"r").unwrap();
+        p.wal_sync().unwrap();
+        p.write_page(a, &[0u8; 128]).unwrap();
+        p.sync().unwrap();
+        p.wal_truncate().unwrap();
+        assert_eq!(
+            h.take_trace(),
+            vec![
+                OpKind::WalAppend,
+                OpKind::WalSync,
+                OpKind::Write,
+                OpKind::Sync,
+                OpKind::WalTruncate
+            ]
+        );
+        // Trace is consumed; a second take is empty and tracing is off.
+        assert!(h.take_trace().is_empty());
+        p.sync().unwrap();
+        assert!(h.take_trace().is_empty());
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //! * [`rank`] — [`rank::RankedMutex`], the rank-checked lock wrapper
 //!   every mutex in this crate goes through (debug builds panic on
 //!   out-of-order acquisition; see the module docs for the lock order),
+//! * [`wal`] — the redo-only write-ahead log behind the
+//!   [`commit`](store::SharedStore::commit) boundary: checksummed
+//!   physical page images, replayed by [`wal::recover`] on reopen,
+//! * [`superblock`] — page 0 as durable store metadata: geometry plus a
+//!   catalog of named index roots, so reopening needs no out-of-band
+//!   state,
 //! * [`store`] — [`store::SharedStore`], a cheaply-clonable
 //!   handle letting many trees (e.g. a BA-tree and its recursive border
 //!   trees) share one pool so space and I/O are accounted jointly.
@@ -33,6 +39,8 @@ pub mod nodecache;
 pub mod pager;
 pub mod rank;
 pub mod store;
+pub mod superblock;
+pub mod wal;
 
 pub use buffer::{BufferPool, IoStats};
 pub use fault::{FaultHandle, FaultPager, FaultSpec, OpFilter};
@@ -40,3 +48,5 @@ pub use nodecache::NodeCache;
 pub use pager::{FilePager, MemPager, PageId, Pager, DEFAULT_PAGE_SIZE};
 pub use rank::{RankedGuard, RankedMutex};
 pub use store::{Backing, SharedStore, StoreConfig};
+pub use superblock::{RootEntry, RootKind, Superblock};
+pub use wal::RecoveryReport;

@@ -47,6 +47,23 @@ pub trait Pager: Send {
 
     /// Flushes any pager-level buffering to durable storage.
     fn sync(&mut self) -> Result<()>;
+
+    /// Appends raw bytes to the sidecar write-ahead log.
+    ///
+    /// The pager treats the log as an opaque byte stream — framing and
+    /// checksumming live in [`wal`](crate::wal). Routing the log
+    /// through the pager keeps the crash model linear: a fault injected
+    /// at operation *k* kills data-page and log traffic uniformly.
+    fn wal_append(&mut self, bytes: &[u8]) -> Result<()>;
+
+    /// Flushes the write-ahead log to durable storage.
+    fn wal_sync(&mut self) -> Result<()>;
+
+    /// Discards the write-ahead log (after a fully applied commit).
+    fn wal_truncate(&mut self) -> Result<()>;
+
+    /// Reads the entire current write-ahead log (for recovery).
+    fn wal_read(&mut self) -> Result<Vec<u8>>;
 }
 
 fn check_id(id: PageId, num_pages: u64) -> Result<usize> {
@@ -68,6 +85,7 @@ fn check_id(id: PageId, num_pages: u64) -> Result<usize> {
 pub struct MemPager {
     page_size: usize,
     pages: Vec<Box<[u8]>>,
+    wal: Vec<u8>,
 }
 
 impl MemPager {
@@ -77,6 +95,7 @@ impl MemPager {
         Self {
             page_size,
             pages: Vec::new(),
+            wal: Vec::new(),
         }
     }
 }
@@ -114,18 +133,50 @@ impl Pager for MemPager {
     fn sync(&mut self) -> Result<()> {
         Ok(())
     }
+
+    fn wal_append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.wal.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn wal_sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn wal_truncate(&mut self) -> Result<()> {
+        self.wal.clear();
+        Ok(())
+    }
+
+    fn wal_read(&mut self) -> Result<Vec<u8>> {
+        Ok(self.wal.clone())
+    }
 }
 
 /// File-backed pager: page `i` occupies bytes `[i·P, (i+1)·P)` of the file.
+///
+/// The write-ahead log lives in a sidecar file at `<path>.wal` — created
+/// alongside the page file, preserved across reopen so recovery can
+/// replay it, and emptied by [`wal_truncate`](Pager::wal_truncate) once
+/// a commit is fully applied in place.
 #[derive(Debug)]
 pub struct FilePager {
     page_size: usize,
     file: File,
     num_pages: u64,
+    wal: File,
+    wal_len: u64,
+}
+
+/// The sidecar WAL path for a page file: `<path>.wal`.
+pub fn wal_path(path: impl AsRef<Path>) -> std::path::PathBuf {
+    let mut os = path.as_ref().as_os_str().to_os_string();
+    os.push(".wal");
+    std::path::PathBuf::from(os)
 }
 
 impl FilePager {
-    /// Creates (truncating) a new page file.
+    /// Creates (truncating) a new page file and an empty sidecar WAL.
     pub fn create(path: impl AsRef<Path>, page_size: usize) -> Result<Self> {
         assert!(page_size >= 64, "page size unreasonably small");
         let file = OpenOptions::new()
@@ -133,28 +184,73 @@ impl FilePager {
             .write(true)
             .create(true)
             .truncate(true)
-            .open(path)?;
+            .open(path.as_ref())?;
+        let wal = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(wal_path(path))?;
         Ok(Self {
             page_size,
             file,
             num_pages: 0,
+            wal,
+            wal_len: 0,
         })
     }
 
-    /// Opens an existing page file. The file length must be a multiple of
-    /// `page_size`.
+    /// Opens an existing page file (and its sidecar WAL, which is
+    /// created empty when absent — a cleanly-truncated log and a
+    /// missing one are equivalent).
+    ///
+    /// If the file begins with a [`superblock`](crate::superblock), the
+    /// recorded page size is authoritative: opening with a different
+    /// `page_size` is a typed [`Error::GeometryMismatch`] instead of
+    /// sheared page reads. Files without a superblock (raw pager files)
+    /// fall back to the length-divisibility check.
+    ///
+    /// [`Error::GeometryMismatch`]: boxagg_common::error::Error::GeometryMismatch
     pub fn open(path: impl AsRef<Path>, page_size: usize) -> Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path.as_ref())?;
         let len = file.metadata()?.len();
+        let mut prefix = [0u8; crate::superblock::PREFIX_LEN];
+        if len >= prefix.len() as u64 {
+            file.read_exact(&mut prefix)?;
+            file.seek(SeekFrom::Start(0))?;
+            if let Some(stored) = crate::superblock::peek_page_size(&prefix) {
+                if stored as usize != page_size {
+                    return Err(boxagg_common::error::Error::GeometryMismatch {
+                        what: "page_size",
+                        stored: stored as u64,
+                        requested: page_size as u64,
+                    });
+                }
+            }
+        }
         if len % page_size as u64 != 0 {
             return Err(invalid_arg(format!(
                 "file length {len} is not a multiple of page size {page_size}"
             )));
         }
+        let wal = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            // Never truncate: a pending committed transaction may be
+            // sitting in the log, waiting for recovery to replay it.
+            .truncate(false)
+            .open(wal_path(path))?;
+        let wal_len = wal.metadata()?.len();
         Ok(Self {
             page_size,
             file,
             num_pages: len / page_size as u64,
+            wal,
+            wal_len,
         })
     }
 
@@ -208,6 +304,40 @@ impl Pager for FilePager {
         self.file.sync_data()?;
         Ok(())
     }
+
+    fn wal_append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.wal.seek(SeekFrom::Start(self.wal_len))?;
+        if let Err(e) = self.wal.write_all(bytes) {
+            // A short append leaves a torn tail; recovery would discard
+            // it by checksum, but rolling back keeps the clean path
+            // append-at-known-offset. Best effort: the write error is
+            // what the caller must see.
+            // lint: allow(discarded-result) -- best-effort rollback; the append error is what the caller must see
+            let _ = self.wal.set_len(self.wal_len);
+            return Err(e.into());
+        }
+        self.wal_len += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn wal_sync(&mut self) -> Result<()> {
+        self.wal.sync_data()?;
+        Ok(())
+    }
+
+    fn wal_truncate(&mut self) -> Result<()> {
+        self.wal.set_len(0)?;
+        self.wal_len = 0;
+        Ok(())
+    }
+
+    fn wal_read(&mut self) -> Result<Vec<u8>> {
+        self.wal.seek(SeekFrom::Start(0))?;
+        let mut out = Vec::new();
+        self.wal.read_to_end(&mut out)?;
+        self.wal_len = out.len() as u64;
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +374,22 @@ mod tests {
         assert!(pager.read_page(PageId(99), &mut buf).is_err());
         assert!(pager.write_page(PageId::NULL, &data).is_err());
         pager.sync().unwrap();
+
+        // The sidecar WAL round-trips as an opaque byte stream: appends
+        // concatenate, reads see everything, truncate empties it.
+        assert_eq!(pager.wal_read().unwrap(), b"");
+        pager.wal_append(b"alpha").unwrap();
+        pager.wal_append(b"-beta").unwrap();
+        pager.wal_sync().unwrap();
+        assert_eq!(pager.wal_read().unwrap(), b"alpha-beta");
+        // Appends after a full read continue at the tail.
+        pager.wal_append(b"!").unwrap();
+        assert_eq!(pager.wal_read().unwrap(), b"alpha-beta!");
+        pager.wal_truncate().unwrap();
+        assert_eq!(pager.wal_read().unwrap(), b"");
+        // The log is independent of page storage.
+        pager.read_page(b, &mut buf).unwrap();
+        assert_eq!(buf, data);
     }
 
     #[test]
@@ -267,6 +413,65 @@ mod tests {
         p.read_page(PageId(1), &mut buf).unwrap();
         assert_eq!(buf[0], 0xAA);
         assert_eq!(buf[255], 0x55);
+    }
+
+    #[test]
+    fn file_pager_wal_survives_reopen() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("pages.db");
+        {
+            let mut p = FilePager::create(&path, 256).unwrap();
+            p.allocate().unwrap();
+            p.wal_append(b"pending-txn").unwrap();
+            p.wal_sync().unwrap();
+            // Dropped without truncating: simulates death mid-commit.
+        }
+        assert!(wal_path(&path).exists());
+        let mut p = FilePager::open(&path, 256).unwrap();
+        assert_eq!(p.wal_read().unwrap(), b"pending-txn");
+        // Further appends land after the surviving tail.
+        p.wal_append(b"+more").unwrap();
+        assert_eq!(p.wal_read().unwrap(), b"pending-txn+more");
+        p.wal_truncate().unwrap();
+        assert_eq!(p.wal_read().unwrap(), b"");
+    }
+
+    #[test]
+    fn open_rejects_wrong_page_size_with_typed_geometry_error() {
+        use crate::superblock::Superblock;
+        use boxagg_common::error::Error;
+
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("geo.db");
+        // Format a 1024-byte-page store: page 0 carries the superblock.
+        {
+            let mut p = FilePager::create(&path, 1024).unwrap();
+            let id = p.allocate().unwrap();
+            let mut page = vec![0u8; 1024];
+            let sb = Superblock::new(1024, true);
+            let enc = sb.encode();
+            page[..enc.len()].copy_from_slice(&enc);
+            p.write_page(id, &page).unwrap();
+            p.sync().unwrap();
+        }
+        // Reopening at 4096 must fail with the typed mismatch, not a
+        // length complaint or sheared reads.
+        let err = FilePager::open(&path, 4096).unwrap_err();
+        match err {
+            Error::GeometryMismatch {
+                what,
+                stored,
+                requested,
+            } => {
+                assert_eq!(what, "page_size");
+                assert_eq!(stored, 1024);
+                assert_eq!(requested, 4096);
+            }
+            other => panic!("expected GeometryMismatch, got: {other}"),
+        }
+        // The recorded size still opens fine.
+        let p = FilePager::open(&path, 1024).unwrap();
+        assert_eq!(p.num_pages(), 1);
     }
 
     #[test]

@@ -22,13 +22,19 @@
 //! illustrative `shard < pager < allocator` sketch in the original design
 //! note, which predates the allocator-holds-shard stale-frame fix; the
 //! checker exists precisely to validate the order against the code rather
-//! than the other way around.)  `NODE_CACHE` guards a decoded-node cache
+//! than the other way around.)  `WAL` sits at the very bottom: the commit
+//! mutex is held across the whole commit protocol — shard collection, log
+//! appends, in-place writes, truncation — so everything those steps lock
+//! must rank above it.  `SUPERBLOCK` is held across the page-0 write that
+//! publishes a catalog update, so it ranks below the node-cache, shard and
+//! pager locks that write takes.  `NODE_CACHE` guards a decoded-node cache
 //! shard in [`crate::nodecache`]; it is a *leaf* lock — never held across
-//! any other acquisition — so any slot above `ALLOCATOR` would do, and it
+//! any other acquisition — so any slot above `SUPERBLOCK` would do, and it
 //! sits just below `SHARD` to mirror the layering (typed cache above the
-//! byte pool).  `STATS` is reserved at the top for a future lock-based
-//! statistics sink — today's [`crate::buffer::IoStats`] counters are
-//! atomics and take no lock.
+//! byte pool).  `STATS` at the top holds the fault-injection plan
+//! ([`crate::fault`]), which nests strictly inside the pager lock —
+//! today's [`crate::buffer::IoStats`] counters are atomics and take no
+//! lock.
 //!
 //! Release builds compile the checker away entirely: `acquire` is then a
 //! plain `Mutex::lock` with poison recovery.
@@ -40,22 +46,34 @@ use std::sync::{Mutex, PoisonError};
 // The static lock-rank table.  Locks must be acquired in strictly
 // increasing rank order.
 
+/// The commit mutex ([`crate::buffer::BufferPool::commit`]): held
+/// across the entire WAL commit protocol — shard scans, log appends,
+/// in-place writes and the log truncation — so it ranks below every
+/// lock those steps take (shards, pager, allocator is not taken but
+/// ordering it first keeps commit free to grow).
+pub const WAL: u32 = 0;
 /// Free-list / high-water-mark allocator state.  Held across pager grow
 /// and across shard frame-drop, so it must rank below both.
-pub const ALLOCATOR: u32 = 0;
+pub const ALLOCATOR: u32 = 1;
+/// The in-memory superblock image ([`crate::store`]): held across the
+/// page-0 write that publishes a named-root update (so concurrent
+/// catalog updates cannot persist out of order), hence below the shard,
+/// pager and node-cache locks that write takes.
+pub const SUPERBLOCK: u32 = 2;
 /// A decoded-node cache shard ([`crate::nodecache`]).  A leaf lock:
 /// lookups, conditional inserts and invalidations never touch another
 /// lock while holding it.
-pub const NODE_CACHE: u32 = 1;
+pub const NODE_CACHE: u32 = 3;
 /// A buffer-pool shard (cache segment).  Held across pager I/O on miss,
 /// eviction, and flush.
-pub const SHARD: u32 = 2;
+pub const SHARD: u32 = 4;
 /// The backing pager (file or memory).  Innermost lock; nothing else is
 /// acquired while it is held.
-pub const PAGER: u32 = 3;
-/// Reserved for a future lock-based statistics sink; currently unused
-/// because `IoStats` is implemented with atomics.
-pub const STATS: u32 = 4;
+pub const PAGER: u32 = 5;
+/// Reserved for a future lock-based statistics sink; used today by the
+/// fault-injection plan ([`crate::fault`]), which nests strictly inside
+/// the pager lock.
+pub const STATS: u32 = 6;
 
 #[cfg(debug_assertions)]
 thread_local! {
@@ -106,7 +124,8 @@ impl<T> RankedMutex<T> {
                     self.lock_rank > top_rank,
                     "lock-rank violation: acquiring `{}` (rank {}) while holding \
                      `{}` (rank {}); locks must be taken in strictly increasing \
-                     rank order (allocator < node cache < shard < pager < stats)",
+                     rank order (wal < allocator < superblock < node cache < \
+                     shard < pager < stats)",
                     self.label,
                     self.lock_rank,
                     top_label,

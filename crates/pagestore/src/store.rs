@@ -18,11 +18,14 @@ use std::any::Any;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use boxagg_common::error::Result;
+use boxagg_common::error::{invalid_arg, Error, Result};
 
 use crate::buffer::{BufferPool, IoStats};
 use crate::nodecache::NodeCache;
 use crate::pager::{FilePager, MemPager, PageId, Pager, DEFAULT_PAGE_SIZE};
+use crate::rank::{self, RankedMutex};
+use crate::superblock::{RootEntry, Superblock};
+use crate::wal::{self, RecoveryReport};
 
 /// Where pages live.
 #[derive(Debug, Clone, Default)]
@@ -58,6 +61,14 @@ pub struct StoreConfig {
     /// flag only controls verification — so payload size, page counts
     /// and byte-level I/O are identical either way.
     pub checksums: bool,
+    /// Crash-consistent commits through the write-ahead log (default:
+    /// off). When on, dirty pages are pinned in the pool (no-steal)
+    /// until [`SharedStore::commit`] streams them to the sidecar log,
+    /// syncs it, applies them in place and truncates the log — so a
+    /// crash at any moment recovers to the last committed state. When
+    /// off, [`SharedStore::flush`] writes back eagerly with no
+    /// atomicity boundary, byte-identical to the pre-WAL pool.
+    pub wal: bool,
 }
 
 impl Default for StoreConfig {
@@ -69,6 +80,7 @@ impl Default for StoreConfig {
             parallelism: 1,
             node_cache_pages: 10 * 1024 * 1024 / DEFAULT_PAGE_SIZE,
             checksums: true,
+            wal: false,
         }
     }
 }
@@ -84,6 +96,7 @@ impl StoreConfig {
             parallelism: 1,
             node_cache_pages: buffer_pages,
             checksums: true,
+            wal: false,
         }
     }
 
@@ -107,6 +120,13 @@ impl StoreConfig {
         self
     }
 
+    /// Enables or disables crash-consistent WAL commits (see
+    /// [`StoreConfig::wal`]).
+    pub fn with_wal(mut self, on: bool) -> Self {
+        self.wal = on;
+        self
+    }
+
     /// Shard count for the buffer pool: 1 in sequential mode (exact
     /// paper accounting), otherwise enough power-of-two shards to keep
     /// `parallelism` threads from contending.
@@ -126,32 +146,85 @@ pub struct SharedStore {
     pool: Arc<BufferPool>,
     nodes: Arc<NodeCache>,
     parallelism: usize,
+    /// In-memory image of the page-0 superblock; `None` for raw stores
+    /// (memory backing without WAL) that predate the catalog.
+    superblock: Option<Arc<RankedMutex<Superblock>>>,
+    /// What recovery replayed when this store was opened.
+    recovery: RecoveryReport,
 }
 
 impl SharedStore {
     /// Opens a store per `config`.
+    ///
+    /// File-backed stores are *durable*: a missing file is created and
+    /// formatted with a page-0 [`Superblock`]; an existing file is
+    /// opened (its recorded geometry is authoritative — see
+    /// [`FilePager::open`]), any committed write-ahead-log transactions
+    /// left by a crash are replayed, and the superblock's catalog of
+    /// named roots is loaded so indexes can be reopened by name with no
+    /// out-of-band state. Memory-backed stores get the same treatment
+    /// when [`StoreConfig::wal`] is on; the plain memory default skips
+    /// page 0 entirely and stays byte-identical to earlier revisions.
     pub fn open(config: &StoreConfig) -> Result<Self> {
-        let pager: Box<dyn Pager> = match &config.backing {
-            Backing::Memory => Box::new(MemPager::new(config.page_size)),
-            Backing::File(path) => Box::new(FilePager::create(path, config.page_size)?),
-        };
-        Ok(Self::with_pager(pager, config))
+        match &config.backing {
+            Backing::Memory => {
+                let pager = Box::new(MemPager::new(config.page_size));
+                if config.wal {
+                    Self::open_with_pager(pager, config)
+                } else {
+                    Ok(Self::with_pager(pager, config))
+                }
+            }
+            Backing::File(path) => {
+                let pager: Box<dyn Pager> = if path.exists() {
+                    Box::new(FilePager::open(path, config.page_size)?)
+                } else {
+                    Box::new(FilePager::create(path, config.page_size)?)
+                };
+                Self::open_with_pager(pager, config)
+            }
+        }
+    }
+
+    /// Opens a *formatted* store over an explicit pager: runs WAL
+    /// recovery on the raw pager, then loads the page-0 superblock (or
+    /// formats one into an empty pager). This is [`open`](Self::open)
+    /// minus the file handling — the crash-sweep harness uses it to
+    /// interpose a [`FaultPager`](crate::fault::FaultPager) between the
+    /// pool and the file.
+    pub fn open_with_pager(mut pager: Box<dyn Pager>, config: &StoreConfig) -> Result<Self> {
+        let report = wal::recover(pager.as_mut())?;
+        let mut store = Self::with_pager(pager, config);
+        store.recovery = report;
+        store.pool.note_wal_replays(report.pages_replayed);
+        store.superblock = Some(Arc::new(RankedMutex::new(
+            rank::SUPERBLOCK,
+            "superblock",
+            Superblock::new(config.page_size as u32, config.checksums),
+        )));
+        store.load_or_format_superblock(config)?;
+        Ok(store)
     }
 
     /// Wraps an explicit pager — a reopened [`FilePager`], or a
     /// [`FaultPager`](crate::fault::FaultPager) in fault-injection
     /// harnesses — honoring everything in `config` except `backing` and
-    /// `page_size` (the pager defines those).
+    /// `page_size` (the pager defines those). No recovery runs and no
+    /// superblock is read or written: this is the raw compatibility
+    /// path for stores addressed by explicit page ids.
     pub fn with_pager(pager: Box<dyn Pager>, config: &StoreConfig) -> Self {
         Self {
-            pool: Arc::new(BufferPool::with_options(
+            pool: Arc::new(BufferPool::with_config(
                 pager,
                 config.buffer_pages,
                 config.shards(),
                 config.checksums,
+                config.wal,
             )),
             nodes: Arc::new(NodeCache::new(config.node_cache_pages, config.shards())),
             parallelism: config.parallelism.max(1),
+            superblock: None,
+            recovery: RecoveryReport::default(),
         }
     }
 
@@ -168,8 +241,132 @@ impl SharedStore {
                 parallelism: 1,
                 node_cache_pages: buffer_pages,
                 checksums: true,
+                wal: false,
             },
         )
+    }
+
+    /// Loads the superblock from page 0, formatting an empty or
+    /// brand-new store in the process.
+    fn load_or_format_superblock(&self, config: &StoreConfig) -> Result<()> {
+        let fresh = Superblock::new(config.page_size as u32, config.checksums);
+        if self.pool.allocated_pages() == 0 {
+            // Brand-new store: page 0 is the superblock, formatted
+            // durably before anything else is written.
+            let id = self.pool.allocate()?;
+            debug_assert_eq!(id, PageId(0));
+            self.pool.write_page(id, &fresh.encode())?;
+            self.pool.flush_all()?;
+            return self.install_superblock(fresh);
+        }
+        let payload = self.pool.with_page(PageId(0), |d| d.to_vec())?;
+        if payload.iter().all(|&b| b == 0) {
+            // Pages exist but page 0 was never formatted (a raw pager
+            // file from the compatibility path): adopt it in place.
+            self.pool.write_page(PageId(0), &fresh.encode())?;
+            self.pool.flush_all()?;
+            return self.install_superblock(fresh);
+        }
+        let sb = Superblock::decode(&payload)?;
+        if sb.page_size as usize != config.page_size {
+            return Err(Error::GeometryMismatch {
+                what: "page_size",
+                stored: sb.page_size as u64,
+                requested: config.page_size as u64,
+            });
+        }
+        self.install_superblock(sb)
+    }
+
+    fn install_superblock(&self, sb: Superblock) -> Result<()> {
+        let lock = self
+            .superblock
+            .as_ref()
+            .expect("load_or_format_superblock called on a raw store");
+        *lock.acquire() = sb;
+        Ok(())
+    }
+
+    fn superblock_lock(&self) -> Result<&RankedMutex<Superblock>> {
+        self.superblock.as_deref().ok_or_else(|| {
+            invalid_arg(
+                "store has no superblock: memory backing without WAL keeps \
+                 the raw page-id addressing of earlier revisions",
+            )
+        })
+    }
+
+    /// Publishes `entry` under `name` in the superblock catalog.
+    ///
+    /// The page-0 image is rewritten while the catalog lock is held, so
+    /// concurrent updates serialize; durability follows the store's
+    /// normal rules — the update becomes crash-atomic at the next
+    /// [`commit`](Self::commit) (WAL stores) or durable at the next
+    /// [`flush`](Self::flush), together with the index pages it names.
+    pub fn set_root(&self, name: &str, entry: RootEntry) -> Result<()> {
+        let lock = self.superblock_lock()?;
+        let mut sb = lock.acquire();
+        sb.set_root(name, entry);
+        let encoded = sb.encode();
+        if encoded.len() > self.payload_size() {
+            // Roll back: an oversized catalog must not poison the
+            // in-memory image that later writes would re-encode.
+            sb.remove_root(name);
+            return Err(invalid_arg(format!(
+                "superblock catalog overflow: {} bytes exceeds the {}-byte \
+                 page-0 payload",
+                encoded.len(),
+                self.payload_size()
+            )));
+        }
+        self.pool.write_page(PageId(0), &encoded)?;
+        self.nodes.invalidate(PageId(0));
+        Ok(())
+    }
+
+    /// Looks up a named root in the superblock catalog.
+    pub fn root(&self, name: &str) -> Result<Option<RootEntry>> {
+        Ok(self.superblock_lock()?.acquire().root(name).cloned())
+    }
+
+    /// Removes a named root from the catalog (a no-op when absent).
+    /// The pages it pointed to are not freed — that is the index's job.
+    pub fn remove_root(&self, name: &str) -> Result<()> {
+        let lock = self.superblock_lock()?;
+        let mut sb = lock.acquire();
+        sb.remove_root(name);
+        self.pool.write_page(PageId(0), &sb.encode())?;
+        self.nodes.invalidate(PageId(0));
+        Ok(())
+    }
+
+    /// All named roots in the catalog, sorted by name.
+    pub fn roots(&self) -> Result<Vec<(String, RootEntry)>> {
+        Ok(self
+            .superblock_lock()?
+            .acquire()
+            .roots()
+            .map(|(n, e)| (n.to_string(), e.clone()))
+            .collect())
+    }
+
+    /// Whether commits go through the write-ahead log.
+    pub fn wal_enabled(&self) -> bool {
+        self.pool.wal()
+    }
+
+    /// What WAL recovery replayed when this store was opened (all
+    /// zeros for a clean open or a raw store).
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Commits all dirty pages as one crash-atomic transaction (WAL
+    /// stores) or flushes them eagerly (raw stores) — see
+    /// [`BufferPool::commit`]. After a successful return the committed
+    /// state survives any crash.
+    pub fn commit(&self) -> Result<()> {
+        self.pool.commit()
     }
 
     /// Worker threads the corner fan-out should use (≥ 1).
@@ -362,6 +559,7 @@ mod tests {
             parallelism: 1,
             node_cache_pages: 2,
             checksums: true,
+            wal: false,
         };
         let s = SharedStore::open(&cfg).unwrap();
         let ids: Vec<_> = (0..10u8)

@@ -1,0 +1,372 @@
+//! Durable store metadata: page 0 as a versioned superblock.
+//!
+//! The superblock makes a store self-describing: geometry (page size,
+//! checksum flag) and a catalog of *named roots* — `{name → (root page,
+//! length, dimensionality, value-size bound, index kind, space
+//! bounds)}` — live in page 0, so reopening an index requires no
+//! out-of-band state (contrast `BATree::open_at`, which needs the
+//! caller to remember `(root, len, space)`).
+//!
+//! Layout of the page-0 payload (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  b"BOXAGGSB"
+//!      8     2  format version (currently 1)
+//!     10     1  flags (bit 0: page checksums enabled)
+//!     11     1  reserved (0)
+//!     12     4  page size in bytes
+//!     16     4  root count
+//!            …  root entries (name, kind, root, len, dims,
+//!               max_value_size, dims × (lo, hi) f64 bounds)
+//! ```
+//!
+//! The first [`PREFIX_LEN`] bytes are position-stable across versions so
+//! [`FilePager::open`](crate::pager::FilePager::open) can peek geometry
+//! from the raw file prefix before any page-level machinery exists —
+//! that is what turns a wrong `page_size` into a typed
+//! [`GeometryMismatch`](boxagg_common::error::Error::GeometryMismatch)
+//! instead of sheared reads.
+//!
+//! The superblock is updated *through* the WAL like any other page
+//! (`SharedStore::set_root` marks page 0 dirty; `commit()` makes it
+//! durable), so a crash between "index built" and "root published"
+//! recovers to a store that simply does not list the root yet.
+
+use std::collections::BTreeMap;
+
+use boxagg_common::bytes::{ByteReader, ByteWriter};
+use boxagg_common::error::{corrupt, Error, Result};
+
+use crate::pager::PageId;
+
+/// Magic bytes identifying a boxagg superblock.
+pub const MAGIC: [u8; 8] = *b"BOXAGGSB";
+
+/// Current superblock format version.
+pub const VERSION: u16 = 1;
+
+/// Length of the position-stable prefix (magic through page size).
+pub const PREFIX_LEN: usize = 16;
+
+/// If `prefix` begins with a superblock, returns the recorded page
+/// size. `None` means "not a superblock" (raw pager files), never an
+/// error — absence of the magic is legitimate.
+pub fn peek_page_size(prefix: &[u8]) -> Option<u32> {
+    if prefix.len() < PREFIX_LEN || prefix[..8] != MAGIC {
+        return None;
+    }
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&prefix[12..16]);
+    Some(u32::from_le_bytes(b))
+}
+
+/// What kind of index a named root points at, so `open_named` can
+/// reject reopening a root under the wrong structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootKind {
+    /// A BA-tree ([`boxagg_batree`]-style dominance-sum index).
+    BaTree,
+    /// An ECDF-B-tree with the update-optimized border policy.
+    EcdfUpdate,
+    /// An ECDF-B-tree with the query-optimized border policy.
+    EcdfQuery,
+    /// Not a page root at all: a metadata entry (e.g. an engine-level
+    /// object count) riding in the catalog. `root` is conventionally
+    /// [`PageId::NULL`].
+    Meta,
+}
+
+impl RootKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            RootKind::BaTree => 0,
+            RootKind::EcdfUpdate => 1,
+            RootKind::EcdfQuery => 2,
+            RootKind::Meta => 3,
+        }
+    }
+
+    fn from_u8(x: u8) -> Result<Self> {
+        match x {
+            0 => Ok(RootKind::BaTree),
+            1 => Ok(RootKind::EcdfUpdate),
+            2 => Ok(RootKind::EcdfQuery),
+            3 => Ok(RootKind::Meta),
+            other => Err(corrupt(format!("unknown root kind {other}"))),
+        }
+    }
+}
+
+/// One catalog entry: everything needed to reopen an index by name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RootEntry {
+    /// The index's root page.
+    pub root: PageId,
+    /// Number of entries in the index (trees track an exact count).
+    pub len: u64,
+    /// Dimensionality of the indexed space.
+    pub dims: u32,
+    /// The value-size bound the tree was created with — together with
+    /// the page size this determines the node fan-out, so it must
+    /// round-trip exactly.
+    pub max_value_size: u32,
+    /// Which structure the root belongs to.
+    pub kind: RootKind,
+    /// Per-dimension `(lo, hi)` bounds of the indexed space
+    /// (`bounds.len() == dims`).
+    pub bounds: Vec<(f64, f64)>,
+}
+
+/// The decoded page-0 superblock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Superblock {
+    /// Page size the store was created with.
+    pub page_size: u32,
+    /// Whether page checksums were enabled at creation.
+    pub checksums: bool,
+    roots: BTreeMap<String, RootEntry>,
+}
+
+impl Superblock {
+    /// A fresh superblock with an empty root catalog.
+    pub fn new(page_size: u32, checksums: bool) -> Self {
+        Self {
+            page_size,
+            checksums,
+            roots: BTreeMap::new(),
+        }
+    }
+
+    /// Looks up a named root.
+    pub fn root(&self, name: &str) -> Option<&RootEntry> {
+        self.roots.get(name)
+    }
+
+    /// Inserts or replaces a named root.
+    pub fn set_root(&mut self, name: &str, entry: RootEntry) {
+        self.roots.insert(name.to_string(), entry);
+    }
+
+    /// Removes a named root, returning it if present.
+    pub fn remove_root(&mut self, name: &str) -> Option<RootEntry> {
+        self.roots.remove(name)
+    }
+
+    /// All catalog entries in name order.
+    pub fn roots(&self) -> impl Iterator<Item = (&str, &RootEntry)> {
+        self.roots.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Encodes the superblock into the start of a page payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_bytes(&MAGIC);
+        w.put_u16(VERSION);
+        let mut flags = 0u8;
+        if self.checksums {
+            flags |= 1;
+        }
+        w.put_u8(flags);
+        w.put_u8(0); // reserved
+        w.put_u32(self.page_size);
+        w.put_u32(self.roots.len() as u32);
+        for (name, e) in &self.roots {
+            w.put_u16(name.len() as u16);
+            w.put_bytes(name.as_bytes());
+            w.put_u8(e.kind.to_u8());
+            w.put_u64(e.root.0);
+            w.put_u64(e.len);
+            w.put_u32(e.dims);
+            w.put_u32(e.max_value_size);
+            for &(lo, hi) in &e.bounds {
+                w.put_f64(lo);
+                w.put_f64(hi);
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Decodes a superblock from a page payload.
+    ///
+    /// Bad magic, an unsupported version, or a structurally truncated
+    /// catalog are typed errors — an unsupported version surfaces as
+    /// [`Error::GeometryMismatch`] on `"version"` so callers can tell
+    /// "newer format" apart from corruption.
+    pub fn decode(payload: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(payload);
+        let magic = r.get_bytes(8)?;
+        if magic != MAGIC {
+            return Err(corrupt("page 0 is not a superblock (bad magic)"));
+        }
+        let version = r.get_u16()?;
+        if version != VERSION {
+            return Err(Error::GeometryMismatch {
+                what: "version",
+                stored: version as u64,
+                requested: VERSION as u64,
+            });
+        }
+        let flags = r.get_u8()?;
+        let _reserved = r.get_u8()?;
+        let page_size = r.get_u32()?;
+        let count = r.get_u32()?;
+        let mut roots = BTreeMap::new();
+        for _ in 0..count {
+            let name_len = r.get_u16()? as usize;
+            let name_bytes = r.get_bytes(name_len)?;
+            let name = std::str::from_utf8(name_bytes)
+                .map_err(|_| corrupt("root name is not valid UTF-8"))?
+                .to_string();
+            let kind = RootKind::from_u8(r.get_u8()?)?;
+            let root = PageId(r.get_u64()?);
+            let len = r.get_u64()?;
+            let dims = r.get_u32()?;
+            let max_value_size = r.get_u32()?;
+            let mut bounds = Vec::with_capacity(dims as usize);
+            for _ in 0..dims {
+                let lo = r.get_f64()?;
+                let hi = r.get_f64()?;
+                bounds.push((lo, hi));
+            }
+            roots.insert(
+                name,
+                RootEntry {
+                    root,
+                    len,
+                    dims,
+                    max_value_size,
+                    kind,
+                    bounds,
+                },
+            );
+        }
+        Ok(Self {
+            page_size,
+            checksums: flags & 1 != 0,
+            roots,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Superblock {
+        let mut sb = Superblock::new(4096, true);
+        sb.set_root(
+            "primary",
+            RootEntry {
+                root: PageId(7),
+                len: 1234,
+                dims: 2,
+                max_value_size: 8,
+                kind: RootKind::BaTree,
+                bounds: vec![(0.0, 1.0), (-2.5, 2.5)],
+            },
+        );
+        sb.set_root(
+            "corner/3",
+            RootEntry {
+                root: PageId(42),
+                len: 99,
+                dims: 3,
+                max_value_size: 16,
+                kind: RootKind::EcdfQuery,
+                bounds: vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)],
+            },
+        );
+        sb
+    }
+
+    #[test]
+    fn superblock_round_trip() {
+        let sb = sample();
+        let bytes = sb.encode();
+        let back = Superblock::decode(&bytes).unwrap();
+        assert_eq!(back, sb);
+        // Decoding tolerates trailing payload slack (the rest of the
+        // page is zero padding).
+        let mut padded = bytes.clone();
+        padded.resize(4096, 0);
+        assert_eq!(Superblock::decode(&padded).unwrap(), sb);
+    }
+
+    #[test]
+    fn empty_catalog_round_trip() {
+        let sb = Superblock::new(256, false);
+        let back = Superblock::decode(&sb.encode()).unwrap();
+        assert_eq!(back, sb);
+        assert!(back.roots().next().is_none());
+        assert!(!back.checksums);
+    }
+
+    #[test]
+    fn peek_reads_page_size_from_raw_prefix() {
+        let bytes = sample().encode();
+        assert_eq!(peek_page_size(&bytes), Some(4096));
+        assert_eq!(peek_page_size(&bytes[..PREFIX_LEN]), Some(4096));
+        assert_eq!(peek_page_size(&bytes[..PREFIX_LEN - 1]), None);
+        assert_eq!(peek_page_size(b"not a superblock"), None);
+        assert_eq!(peek_page_size(&[0u8; 64]), None);
+    }
+
+    #[test]
+    fn bad_magic_is_corrupt() {
+        let mut bytes = sample().encode();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(Superblock::decode(&bytes), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn future_version_is_geometry_mismatch() {
+        let mut bytes = sample().encode();
+        bytes[8] = 0xFF; // version low byte
+        match Superblock::decode(&bytes) {
+            Err(Error::GeometryMismatch { what, .. }) => assert_eq!(what, "version"),
+            other => panic!("expected GeometryMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_catalog_is_corrupt() {
+        let bytes = sample().encode();
+        // Chop inside the first root entry.
+        assert!(Superblock::decode(&bytes[..PREFIX_LEN + 10]).is_err());
+    }
+
+    #[test]
+    fn unknown_root_kind_is_corrupt() {
+        let mut sb = Superblock::new(256, true);
+        sb.set_root(
+            "x",
+            RootEntry {
+                root: PageId(1),
+                len: 0,
+                dims: 0,
+                max_value_size: 0,
+                kind: RootKind::BaTree,
+                bounds: vec![],
+            },
+        );
+        let mut bytes = sb.encode();
+        // kind byte sits right after the 1-byte name.
+        let kind_off = PREFIX_LEN + 4 + 2 + 1;
+        assert_eq!(bytes[kind_off], 0);
+        bytes[kind_off] = 9;
+        assert!(Superblock::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn set_remove_and_iterate() {
+        let mut sb = sample();
+        assert_eq!(sb.root("primary").unwrap().root, PageId(7));
+        assert!(sb.root("absent").is_none());
+        let names: Vec<&str> = sb.roots().map(|(n, _)| n).collect();
+        assert_eq!(names, ["corner/3", "primary"]);
+        assert!(sb.remove_root("primary").is_some());
+        assert!(sb.root("primary").is_none());
+        assert!(sb.remove_root("primary").is_none());
+    }
+}

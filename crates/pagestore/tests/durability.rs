@@ -21,6 +21,7 @@ fn file_config(path: std::path::PathBuf) -> StoreConfig {
         parallelism: 1,
         node_cache_pages: 4,
         checksums: true,
+        wal: false,
     }
 }
 
@@ -46,9 +47,10 @@ fn flipped_byte_on_disk_surfaces_as_corruption() {
         build(&s, 8)
     };
 
-    // Flip one payload bit of page 5 behind the store's back.
+    // Flip one payload bit of the sixth data page behind the store's
+    // back (page 0 is the superblock, so data ids start at 1).
     let mut bytes = std::fs::read(&path).unwrap();
-    bytes[5 * PAGE + 17] ^= 0x01;
+    bytes[ids[5].0 as usize * PAGE + 17] ^= 0x01;
     std::fs::write(&path, &bytes).unwrap();
 
     let pager = FilePager::open(&path, PAGE).unwrap();

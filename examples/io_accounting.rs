@@ -1,21 +1,26 @@
 //! Disk-backed operation and I/O accounting.
 //!
 //! Demonstrates the storage substrate directly: a file-backed page
-//! store, the LRU buffer's I/O statistics (the paper's §6 metric), and
-//! reopening a persisted BA-tree from its root page.
+//! store with crash-consistent WAL commits, the LRU buffer's I/O
+//! statistics (the paper's §6 metric), and reopening a persisted
+//! BA-tree *by name* from the page-0 superblock catalog — no
+//! out-of-band state survives between the two halves of this program.
 //!
 //! Run with `cargo run --release --example io_accounting`.
 
 use boxagg::batree::BATree;
 use boxagg::common::traits::DominanceSumIndex;
 use boxagg::common::{Point, Rect};
-use boxagg::pagestore::{Backing, FilePager, SharedStore, StoreConfig};
+use boxagg::pagestore::pager::wal_path;
+use boxagg::pagestore::{Backing, SharedStore, StoreConfig};
 use boxagg_common::rng::StdRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join("boxagg_example_store");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join("batree.pages");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(wal_path(&path)).ok();
 
     let space = Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]);
     let config = StoreConfig {
@@ -25,10 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         parallelism: 1,
         node_cache_pages: 64,
         checksums: true,
+        wal: true,
     };
 
     // Build a 50k-point dominance index on disk.
-    let (root, len) = {
+    {
         let store = SharedStore::open(&config)?;
         let mut tree: BATree<f64> = BATree::create(store.clone(), space, 8)?;
         let mut rng = StdRng::seed_from_u64(7);
@@ -57,22 +63,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             s.total(),
             s.hits
         );
-        store.flush()?;
-        (tree.root_page(), tree.len())
-    };
 
-    // Reopen the persisted file with a fresh buffer pool and resume.
-    let pager = FilePager::open(&path, 8192)?;
-    let store = SharedStore::from_pager(Box::new(pager), 64);
-    let mut tree: BATree<f64> = BATree::open_at(store.clone(), space, 8, root, len)?;
+        // Publish the tree in the superblock and commit: one WAL
+        // transaction covers the index pages and the catalog update.
+        store.reset_stats();
+        tree.persist_as("primary")?;
+        store.commit()?;
+        let c = store.stats();
+        println!(
+            "commit: {} WAL appends, {} WAL syncs, {} in-place writes",
+            c.wal_appends, c.wal_syncs, c.writes
+        );
+    }
+
+    // Reopen the persisted file with a fresh buffer pool and resume —
+    // the name is the only thing this half knows.
+    let store = SharedStore::open(&config)?;
+    let mut tree: BATree<f64> = BATree::open_named(store.clone(), "primary")?;
     let q = Point::new(&[0.75, 0.75]);
     let sum = tree.dominance_sum(&q)?;
     let s = store.stats();
     println!(
-        "reopened from disk: same query = {sum:.1}, {} cold I/Os",
+        "reopened by name from disk: same query = {sum:.1}, {} cold I/Os",
         s.total()
     );
 
     std::fs::remove_file(&path).ok();
+    std::fs::remove_file(wal_path(&path)).ok();
     Ok(())
 }

@@ -1,0 +1,64 @@
+//! Tier-1 crash sweeps: simulated process death at every pager
+//! operation of a two-transaction workload, for both index schemes and
+//! both kill flavors (clean error and torn write). See
+//! `boxagg_bench::crashsweep` for the driver and the recovery
+//! properties asserted per kill position — most importantly that the
+//! reopened store is always bit-identical to a committed state, never
+//! an in-between hybrid, and that commits, once returned, survive.
+//!
+//! These are the debug-build twins of the `crashes` bench binary's
+//! `--smoke` run.
+
+use boxagg_bench::crashsweep::{run, CrashConfig};
+use boxagg_bench::faultsweep::SweepScheme;
+
+fn assert_exhaustive(cfg: &CrashConfig) {
+    let report = run(cfg);
+    assert_eq!(
+        report.ks_tested, report.total_ops,
+        "sweep must be exhaustive"
+    );
+    assert_eq!(
+        report.recovered_initial + report.recovered_txn1 + report.recovered_txn2,
+        report.ks_tested,
+        "every kill must recover to exactly one committed state: {report:?}"
+    );
+    assert!(
+        report.recovered_initial > 0 && report.recovered_txn1 > 0 && report.recovered_txn2 > 0,
+        "the sweep must cross both commit boundaries: {report:?}"
+    );
+    assert!(
+        report.txns_replayed > 0,
+        "some kills must land between the log sync and the in-place \
+         writes, forcing a WAL replay: {report:?}"
+    );
+}
+
+#[test]
+fn batree_exhaustive_crash_sweep() {
+    assert_exhaustive(&CrashConfig::small(SweepScheme::BaTree));
+}
+
+#[test]
+fn ecdfb_exhaustive_crash_sweep() {
+    assert_exhaustive(&CrashConfig::small(SweepScheme::EcdfB));
+}
+
+#[test]
+fn batree_exhaustive_torn_kill_sweep() {
+    let report = {
+        let cfg = CrashConfig::small_torn(SweepScheme::BaTree);
+        let report = run(&cfg);
+        assert_eq!(report.ks_tested, report.total_ops);
+        report
+    };
+    assert!(
+        report.tails_discarded > 0,
+        "torn kills must leave tails for recovery to discard: {report:?}"
+    );
+}
+
+#[test]
+fn ecdfb_exhaustive_torn_kill_sweep() {
+    assert_exhaustive(&CrashConfig::small_torn(SweepScheme::EcdfB));
+}
