@@ -142,6 +142,18 @@ fn persist(engine: &SimpleBoxSum<BATree<f64>>, store: &SharedStore) -> Result<()
 pub fn build(pages: &Path, csv: &Path, space_spec: &str, page_size: usize) -> Result<String> {
     let space = parse_box(space_spec)?;
     let dim = space.dim();
+    // `build` means *create*: an existing file at the target path is
+    // replaced, not appended to. Opening an existing store here would
+    // silently stack a second set of trees into the old file (or fail
+    // with GeometryMismatch on a different --page-size), so remove the
+    // file and its WAL sidecar first.
+    for stale in [pages.to_path_buf(), boxagg_pagestore::pager::wal_path(pages)] {
+        match std::fs::remove_file(&stale) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
     let store = SharedStore::open(&store_config(pages, page_size, 64))?;
     let mut engine = SimpleBoxSum::batree_in(space, store.clone())?;
     let text = std::fs::read_to_string(csv)?;
@@ -300,6 +312,27 @@ mod tests {
         let out = info(&pages).unwrap();
         assert!(out.contains("dimension: 2"), "{out}");
         assert!(out.contains("objects:   3"), "{out}");
+    }
+
+    #[test]
+    fn rebuild_replaces_existing_index() {
+        let dir = tempfile::tempdir().unwrap();
+        let pages = dir.path().join("idx.pages");
+        let csv1 = write_csv(dir.path(), &["10,30,10,25,120", "25,50,20,40,340"]);
+        let out = build(&pages, &csv1, "0,100,0,100", 1024).unwrap();
+        assert!(out.contains("2 objects"), "{out}");
+
+        // Rebuilding the same path must replace the old index, not
+        // stack a second set of trees into it — and a different
+        // --page-size must work rather than fail on geometry.
+        let csv2 = write_csv(dir.path(), &["70,90,65,80,90"]);
+        let out = build(&pages, &csv2, "0,100,0,100", 2048).unwrap();
+        assert!(out.contains("1 objects"), "{out}");
+
+        let out = query(&pages, "0,100,0,100").unwrap();
+        assert!(out.starts_with("sum = 90"), "{out}");
+        let out = info(&pages).unwrap();
+        assert!(out.contains("objects:   1"), "{out}");
     }
 
     #[test]

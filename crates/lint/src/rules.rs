@@ -279,11 +279,12 @@ fn rule_unsafe(tokens: &[Token], out: &mut Vec<Finding>) {
 }
 
 /// R3: in `pagestore`, every lock acquisition must go through
-/// `RankedMutex::acquire`; raw `.lock()` / `.try_lock()` (and any
-/// `RwLock`, which the wrapper does not cover yet) are rejected.
-/// This covers every pagestore mutex: the allocator, the decoded-node
-/// cache shards (`nodecache.rs`, rank `NODE_CACHE`), the buffer-pool
-/// shards, the pager, and the stats sink.
+/// `RankedMutex::acquire` (or `RankedRwLock::acquire_shared`/
+/// `acquire_excl` for reader-writer locking); raw `.lock()` /
+/// `.try_lock()` and any bare `RwLock` are rejected. This covers every
+/// pagestore lock: the allocator, the decoded-node cache shards
+/// (`nodecache.rs`, rank `NODE_CACHE`), the buffer-pool shards, the
+/// commit write barrier, the pager, and the stats sink.
 fn rule_raw_lock(tokens: &[Token], in_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
     for (i, t) in tokens.iter().enumerate() {
         if in_test(i) {
@@ -307,8 +308,8 @@ fn rule_raw_lock(tokens: &[Token], in_test: &dyn Fn(usize) -> bool, out: &mut Ve
             out.push(Finding {
                 line: t.line,
                 rule: "raw-lock",
-                message: "`RwLock` in `pagestore` is not covered by `RankedMutex`; \
-                          extend the rank-checked wrapper before introducing one"
+                message: "bare `RwLock` in `pagestore`; use the rank-checked \
+                          `RankedRwLock` wrapper instead"
                     .to_string(),
             });
         }

@@ -16,10 +16,20 @@
 //! one shard lock. I/O statistics are atomic counters, so they still sum
 //! to the paper's single-pool accounting regardless of interleaving.
 //!
-//! Every lock is a [`RankedMutex`] in the order `allocator < shard <
-//! pager` (see [`crate::rank`] for the derivation); debug builds panic on
-//! any out-of-order acquisition, so a lock-order inversion cannot survive
-//! the test suite.
+//! Every lock is a [`RankedMutex`] (plus one [`RankedRwLock`], the
+//! commit write barrier) in the order `commit < barrier < allocator <
+//! shard < pager` (see [`crate::rank`] for the derivation); debug builds
+//! panic on any out-of-order acquisition, so a lock-order inversion
+//! cannot survive the test suite.
+//!
+//! The barrier makes a WAL commit's dirty-frame snapshot a point-in-time
+//! cut: [`BufferPool::write_page`] and [`BufferPool::free_page`] hold it
+//! shared around one mutation, [`BufferPool::commit`] holds it
+//! exclusively across the whole scan. Note the cut is *per call*: a
+//! logical update spanning several `write_page` calls (a tree split, say)
+//! is only commit-atomic if no commit runs between the calls — callers
+//! that commit concurrently with multi-page writers must quiesce them
+//! first (every current caller commits from the writing thread).
 //!
 //! With one shard (the default, [`BufferPool::new`]) the pool degenerates
 //! to exactly the paper's single global LRU: eviction order, and hence
@@ -47,7 +57,7 @@ use boxagg_common::error::{corrupt, invalid_arg, Error, Result};
 
 use crate::checksum;
 use crate::pager::{PageId, Pager};
-use crate::rank::{self, RankedMutex};
+use crate::rank::{self, RankedMutex, RankedRwLock};
 use crate::wal;
 
 /// Cumulative I/O statistics of a [`BufferPool`].
@@ -218,6 +228,14 @@ pub struct BufferPool {
     /// Serializes commits; rank [`WAL`](rank::WAL), below every lock the
     /// protocol takes.
     commit_lock: RankedMutex<()>,
+    /// The commit write barrier (rank [`BARRIER`](rank::BARRIER)):
+    /// [`write_page`](Self::write_page) and
+    /// [`free_page`](Self::free_page) hold it shared for the duration of
+    /// one mutation; [`commit`](Self::commit) holds it exclusively while
+    /// snapshotting dirty frames, so the snapshot is a point-in-time cut
+    /// across all shards rather than a shard-by-shard crawl a concurrent
+    /// writer could race through.
+    barrier: RankedRwLock<()>,
     reads: AtomicU64,
     writes: AtomicU64,
     hits: AtomicU64,
@@ -316,6 +334,7 @@ impl BufferPool {
             alloc: RankedMutex::new(rank::ALLOCATOR, "page allocator", AllocState::default()),
             wal,
             commit_lock: RankedMutex::new(rank::WAL, "commit", ()),
+            barrier: RankedRwLock::new(rank::BARRIER, "write barrier", ()),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -423,6 +442,8 @@ impl BufferPool {
         if id.is_null() {
             return Err(invalid_arg("free of the NULL page"));
         }
+        // Shared side of the commit write barrier (see `write_page`).
+        let _writer = self.barrier.acquire_shared();
         let mut alloc = self.alloc.acquire();
         if !alloc.freed.insert(id) {
             return Err(invalid_arg(format!("double free of page {id:?}")));
@@ -589,6 +610,9 @@ impl BufferPool {
                 page: self.payload,
             });
         }
+        // Shared side of the commit write barrier: a concurrent commit's
+        // dirty-frame snapshot can never capture this mutation half-done.
+        let _writer = self.barrier.acquire_shared();
         let mut shard = self.shard_for(id).acquire();
         let idx = self.frame_for(&mut shard, id, false)?;
         let data = &mut shard.frames[idx].data;
@@ -614,21 +638,32 @@ impl BufferPool {
     /// A frame's dirty bit is cleared only if its bytes still equal the
     /// committed image (a concurrent writer may have moved on — its
     /// update then belongs to the *next* commit). Errors leave every
-    /// dirty bit set, so a failed commit can simply be retried.
+    /// dirty bit set, so a failed commit can simply be retried: a
+    /// transaction that failed while being *logged* is rolled back out
+    /// of the log (so the retry's `begin` never lands inside the torn
+    /// one), while a transaction that failed while being *applied*
+    /// stays in the log, committed, for recovery or the retry to finish.
     pub fn commit(&self) -> Result<()> {
         if !self.wal {
             return self.flush_all_inner();
         }
         let _commit = self.commit_lock.acquire();
         // Snapshot every dirty frame's physical image, trailer stamped.
+        // The exclusive barrier blocks writers across the whole scan, so
+        // the transaction is a point-in-time cut over all shards; it is
+        // released before the I/O below — a writer changing a page after
+        // its image was captured just stays dirty for the next commit.
         let mut txn: Vec<(PageId, Box<[u8]>)> = Vec::new();
-        for shard in self.shards.iter() {
-            let mut shard = shard.acquire();
-            for idx in 0..shard.frames.len() {
-                let f = &mut shard.frames[idx];
-                if f.dirty && !f.id.is_null() {
-                    checksum::stamp(&mut f.data, self.zero_mask);
-                    txn.push((f.id, f.data.clone()));
+        {
+            let _quiesced = self.barrier.acquire_excl();
+            for shard in self.shards.iter() {
+                let mut shard = shard.acquire();
+                for idx in 0..shard.frames.len() {
+                    let f = &mut shard.frames[idx];
+                    if f.dirty && !f.id.is_null() {
+                        checksum::stamp(&mut f.data, self.zero_mask);
+                        txn.push((f.id, f.data.clone()));
+                    }
                 }
             }
         }
@@ -641,17 +676,19 @@ impl BufferPool {
             }
             // 1. Log the whole transaction, then sync the log: the
             //    commit record hitting stable storage is the atomicity
-            //    point.
-            pager.wal_append(&wal::encode_begin(txn.len() as u32))?;
-            self.wal_appends.fetch_add(1, Ordering::Relaxed);
-            for (id, image) in &txn {
-                pager.wal_append(&wal::encode_page(*id, image))?;
-                self.wal_appends.fetch_add(1, Ordering::Relaxed);
+            //    point. On failure, roll the log back to its pre-txn
+            //    length — the log may legitimately hold earlier
+            //    *committed* transactions (a commit whose apply phase
+            //    failed leaves its txn for recovery), but an
+            //    *incomplete* tail must not survive into the retry, or
+            //    the retry's `begin` would land inside the open
+            //    transaction and recovery would report `WalCorrupt`.
+            let pre_txn_len = pager.wal_len()?;
+            if let Err(e) = self.log_txn(pager.as_mut(), &txn) {
+                // lint: allow(discarded-result) -- best-effort rollback; the log error is what the caller must see
+                let _ = pager.wal_rollback(pre_txn_len);
+                return Err(e);
             }
-            pager.wal_append(&wal::encode_commit())?;
-            self.wal_appends.fetch_add(1, Ordering::Relaxed);
-            pager.wal_sync()?;
-            self.wal_syncs.fetch_add(1, Ordering::Relaxed);
             // 2. Write the same images in place and sync the data file.
             for (id, image) in &txn {
                 pager.write_page(*id, image)?;
@@ -678,6 +715,24 @@ impl BufferPool {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Step 1 of the commit protocol: appends `begin` + every page
+    /// image + `commit` to the log and syncs it. On `Ok(())` the
+    /// transaction is durably committed; on error the caller rolls the
+    /// log back to its pre-transaction length.
+    fn log_txn(&self, pager: &mut dyn Pager, txn: &[(PageId, Box<[u8]>)]) -> Result<()> {
+        pager.wal_append(&wal::encode_begin(txn.len() as u32))?;
+        self.wal_appends.fetch_add(1, Ordering::Relaxed);
+        for (id, image) in txn {
+            pager.wal_append(&wal::encode_page(*id, image))?;
+            self.wal_appends.fetch_add(1, Ordering::Relaxed);
+        }
+        pager.wal_append(&wal::encode_commit())?;
+        self.wal_appends.fetch_add(1, Ordering::Relaxed);
+        pager.wal_sync()?;
+        self.wal_syncs.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -1055,6 +1110,12 @@ mod tests {
         fn wal_sync(&mut self) -> Result<()> {
             self.inner.wal_sync()
         }
+        fn wal_len(&mut self) -> Result<u64> {
+            self.inner.wal_len()
+        }
+        fn wal_rollback(&mut self, len: u64) -> Result<()> {
+            self.inner.wal_rollback(len)
+        }
         fn wal_truncate(&mut self) -> Result<()> {
             self.inner.wal_truncate()
         }
@@ -1339,6 +1400,36 @@ mod tests {
         faults.reset_counts();
         p.commit().unwrap();
         assert_eq!(faults.counts().wal_appends, 0);
+    }
+
+    #[test]
+    fn failed_wal_append_rolls_log_back_for_retry() {
+        // Regression: a commit that died while *logging* used to leave
+        // the torn transaction tail in the WAL, so the retry's `begin`
+        // landed inside the open transaction and a crash between the
+        // retry's log sync and truncate made recovery fail WalCorrupt.
+        use crate::fault::{is_injected, FaultSpec, OpFilter};
+        let (p, faults) = wal_pool(4);
+        let ids: Vec<PageId> = (0..3u8).map(|i| page_with(&p, i)).collect();
+        // Die on the second append (the first page image): begin is
+        // already in the log and must be rolled back out.
+        faults.arm(FaultSpec::error_at(OpFilter::WalAppends, 1));
+        let err = p.commit().unwrap_err();
+        assert!(is_injected(&err), "got: {err}");
+        assert_eq!(
+            faults.counts().wal_truncates,
+            1,
+            "torn log tail rolled back on the error path"
+        );
+        p.validate().unwrap();
+        // The retry re-logs the whole transaction from a clean tail.
+        faults.disarm();
+        faults.reset_counts();
+        p.commit().unwrap();
+        assert_eq!(faults.counts().wal_appends, 5, "begin + 3 images + commit");
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(p.with_page(id, |d| d[0]).unwrap(), i as u8);
+        }
     }
 
     #[test]

@@ -414,6 +414,23 @@ impl Pager for FaultPager {
         self.inner.wal_sync()
     }
 
+    fn wal_len(&mut self) -> Result<u64> {
+        // Metadata peek, not an I/O: never counted, never faulted — so
+        // the commit protocol's rollback bookkeeping does not shift the
+        // op indices of existing sweeps.
+        self.inner.wal_len()
+    }
+
+    fn wal_rollback(&mut self, len: u64) -> Result<()> {
+        // Counted and faulted as log-truncation traffic: from the crash
+        // model's point of view, rolling a torn tail back is the same
+        // kind of operation as dropping an applied transaction.
+        if self.decide(OpKind::WalTruncate).is_some() {
+            return Err(injected_error("wal rollback"));
+        }
+        self.inner.wal_rollback(len)
+    }
+
     fn wal_truncate(&mut self) -> Result<()> {
         if self.decide(OpKind::WalTruncate).is_some() {
             return Err(injected_error("wal truncate"));

@@ -46,7 +46,7 @@ pub use buffer::{BufferPool, IoStats};
 pub use fault::{FaultHandle, FaultPager, FaultSpec, OpFilter};
 pub use nodecache::NodeCache;
 pub use pager::{FilePager, MemPager, PageId, Pager, DEFAULT_PAGE_SIZE};
-pub use rank::{RankedGuard, RankedMutex};
+pub use rank::{RankedGuard, RankedMutex, RankedReadGuard, RankedRwLock, RankedWriteGuard};
 pub use store::{Backing, SharedStore, StoreConfig};
 pub use superblock::{RootEntry, RootKind, Superblock};
 pub use wal::RecoveryReport;

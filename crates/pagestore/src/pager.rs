@@ -59,6 +59,18 @@ pub trait Pager: Send {
     /// Flushes the write-ahead log to durable storage.
     fn wal_sync(&mut self) -> Result<()>;
 
+    /// Current length of the write-ahead log in bytes — the pre-append
+    /// offset a commit records so a failed append can be rolled back
+    /// with [`wal_rollback`](Pager::wal_rollback). Metadata only: no
+    /// I/O is performed and no fault is injected.
+    fn wal_len(&mut self) -> Result<u64>;
+
+    /// Discards every log byte past `len`, rolling an incompletely
+    /// appended transaction back out of the log while preserving any
+    /// committed transactions before it. `len` past the current end is
+    /// a no-op.
+    fn wal_rollback(&mut self, len: u64) -> Result<()>;
+
     /// Discards the write-ahead log (after a fully applied commit).
     fn wal_truncate(&mut self) -> Result<()>;
 
@@ -140,6 +152,15 @@ impl Pager for MemPager {
     }
 
     fn wal_sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn wal_len(&mut self) -> Result<u64> {
+        Ok(self.wal.len() as u64)
+    }
+
+    fn wal_rollback(&mut self, len: u64) -> Result<()> {
+        self.wal.truncate(len as usize);
         Ok(())
     }
 
@@ -325,6 +346,18 @@ impl Pager for FilePager {
         Ok(())
     }
 
+    fn wal_len(&mut self) -> Result<u64> {
+        Ok(self.wal_len)
+    }
+
+    fn wal_rollback(&mut self, len: u64) -> Result<()> {
+        if len < self.wal_len {
+            self.wal.set_len(len)?;
+            self.wal_len = len;
+        }
+        Ok(())
+    }
+
     fn wal_truncate(&mut self) -> Result<()> {
         self.wal.set_len(0)?;
         self.wal_len = 0;
@@ -378,15 +411,26 @@ mod tests {
         // The sidecar WAL round-trips as an opaque byte stream: appends
         // concatenate, reads see everything, truncate empties it.
         assert_eq!(pager.wal_read().unwrap(), b"");
+        assert_eq!(pager.wal_len().unwrap(), 0);
         pager.wal_append(b"alpha").unwrap();
         pager.wal_append(b"-beta").unwrap();
         pager.wal_sync().unwrap();
         assert_eq!(pager.wal_read().unwrap(), b"alpha-beta");
+        assert_eq!(pager.wal_len().unwrap(), 10);
         // Appends after a full read continue at the tail.
         pager.wal_append(b"!").unwrap();
         assert_eq!(pager.wal_read().unwrap(), b"alpha-beta!");
+        // Rollback drops only the bytes past the recorded offset; a
+        // rollback to (or past) the current end is a no-op.
+        pager.wal_rollback(5).unwrap();
+        assert_eq!(pager.wal_read().unwrap(), b"alpha");
+        pager.wal_rollback(999).unwrap();
+        assert_eq!(pager.wal_read().unwrap(), b"alpha");
+        pager.wal_append(b"!").unwrap();
+        assert_eq!(pager.wal_read().unwrap(), b"alpha!");
         pager.wal_truncate().unwrap();
         assert_eq!(pager.wal_read().unwrap(), b"");
+        assert_eq!(pager.wal_len().unwrap(), 0);
         // The log is independent of page storage.
         pager.read_page(b, &mut buf).unwrap();
         assert_eq!(buf, data);

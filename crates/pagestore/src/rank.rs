@@ -1,10 +1,11 @@
-//! Rank-checked mutexes: static deadlock prevention for the page store.
+//! Rank-checked locks: static deadlock prevention for the page store.
 //!
-//! Every lock in this crate is a [`RankedMutex`] carrying a compile-time
-//! rank from the [`rank`] table.  A thread may only acquire a lock whose
-//! rank is *strictly greater* than the highest rank it already holds; in
-//! debug builds a thread-local stack of held ranks enforces this and
-//! panics on violation, turning any potential lock-order inversion into a
+//! Every lock in this crate is a [`RankedMutex`] (or, for the commit
+//! write barrier, a [`RankedRwLock`]) carrying a compile-time rank from
+//! the [`rank`] table.  A thread may only acquire a lock whose rank is
+//! *strictly greater* than the highest rank it already holds; in debug
+//! builds a thread-local stack of held ranks enforces this and panics on
+//! violation, turning any potential lock-order inversion into a
 //! deterministic test failure instead of a once-a-month deadlock.
 //!
 //! The rank order is derived from an audit of the acquisition pairs that
@@ -26,10 +27,15 @@
 //! mutex is held across the whole commit protocol — shard collection, log
 //! appends, in-place writes, truncation — so everything those steps lock
 //! must rank above it.  `SUPERBLOCK` is held across the page-0 write that
-//! publishes a catalog update, so it ranks below the node-cache, shard and
-//! pager locks that write takes.  `NODE_CACHE` guards a decoded-node cache
-//! shard in [`crate::nodecache`]; it is a *leaf* lock — never held across
-//! any other acquisition — so any slot above `SUPERBLOCK` would do, and it
+//! publishes a catalog update, so it ranks below the barrier, node-cache,
+//! shard and pager locks that write takes.  `BARRIER` is the commit write
+//! barrier: writers hold it shared around each page mutation (before the
+//! allocator in `free_page` and the shards in `write_page`), a commit
+//! holds it exclusively across its dirty-frame snapshot — so it must sit
+//! above `SUPERBLOCK` (whose holder writes page 0) and below `ALLOCATOR`.
+//! `NODE_CACHE` guards a decoded-node cache shard in
+//! [`crate::nodecache`]; it is a *leaf* lock — never held across any
+//! other acquisition — so any slot above `SUPERBLOCK` would do, and it
 //! sits just below `SHARD` to mirror the layering (typed cache above the
 //! byte pool).  `STATS` at the top holds the fault-injection plan
 //! ([`crate::fault`]), which nests strictly inside the pager lock —
@@ -52,28 +58,36 @@ use std::sync::{Mutex, PoisonError};
 /// lock those steps take (shards, pager, allocator is not taken but
 /// ordering it first keeps commit free to grow).
 pub const WAL: u32 = 0;
-/// Free-list / high-water-mark allocator state.  Held across pager grow
-/// and across shard frame-drop, so it must rank below both.
-pub const ALLOCATOR: u32 = 1;
 /// The in-memory superblock image ([`crate::store`]): held across the
 /// page-0 write that publishes a named-root update (so concurrent
-/// catalog updates cannot persist out of order), hence below the shard,
-/// pager and node-cache locks that write takes.
-pub const SUPERBLOCK: u32 = 2;
+/// catalog updates cannot persist out of order), hence below the
+/// barrier, shard, pager and node-cache locks that write takes.
+pub const SUPERBLOCK: u32 = 1;
+/// The commit write barrier ([`RankedRwLock`] in
+/// [`crate::buffer::BufferPool`]): page writers hold it shared for the
+/// duration of one mutation, a commit holds it exclusively across its
+/// dirty-frame snapshot so the snapshot is a single point-in-time cut.
+/// Writers take it before the allocator (`free_page`) and the shards
+/// (`write_page`), and `set_root` reaches it while holding the
+/// superblock lock, which pins it between the two.
+pub const BARRIER: u32 = 2;
+/// Free-list / high-water-mark allocator state.  Held across pager grow
+/// and across shard frame-drop, so it must rank below both.
+pub const ALLOCATOR: u32 = 3;
 /// A decoded-node cache shard ([`crate::nodecache`]).  A leaf lock:
 /// lookups, conditional inserts and invalidations never touch another
 /// lock while holding it.
-pub const NODE_CACHE: u32 = 3;
+pub const NODE_CACHE: u32 = 4;
 /// A buffer-pool shard (cache segment).  Held across pager I/O on miss,
 /// eviction, and flush.
-pub const SHARD: u32 = 4;
+pub const SHARD: u32 = 5;
 /// The backing pager (file or memory).  Innermost lock; nothing else is
 /// acquired while it is held.
-pub const PAGER: u32 = 5;
+pub const PAGER: u32 = 6;
 /// Reserved for a future lock-based statistics sink; used today by the
 /// fault-injection plan ([`crate::fault`]), which nests strictly inside
 /// the pager lock.
-pub const STATS: u32 = 6;
+pub const STATS: u32 = 7;
 
 #[cfg(debug_assertions)]
 thread_local! {
@@ -81,6 +95,41 @@ thread_local! {
     /// this thread, in acquisition order.
     static HELD: std::cell::RefCell<Vec<(u32, &'static str)>> =
         const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Panics if acquiring a lock of `lock_rank` would violate the rank
+/// order for this thread, then records it as held.  Shared and
+/// exclusive acquisitions are checked identically: a reader can still
+/// deadlock a writer through an inverted order.
+#[cfg(debug_assertions)]
+fn check_and_push(lock_rank: u32, label: &'static str) {
+    HELD.with(|held| {
+        let top = held.borrow().last().copied();
+        if let Some((top_rank, top_label)) = top {
+            assert!(
+                lock_rank > top_rank,
+                "lock-rank violation: acquiring `{label}` (rank {lock_rank}) \
+                 while holding `{top_label}` (rank {top_rank}); locks must be \
+                 taken in strictly increasing rank order (wal < superblock < \
+                 barrier < allocator < node cache < shard < pager < stats)",
+            );
+        }
+        held.borrow_mut().push((lock_rank, label));
+    });
+}
+
+/// Removes the last held-rank entry matching `lock_rank`.  Guards
+/// usually drop LIFO, but scopes like `(a.acquire(), b.acquire())` may
+/// release out of order, so the matching entry is removed rather than
+/// the top blindly popped.
+#[cfg(debug_assertions)]
+fn pop_rank(lock_rank: u32) {
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&(r, _)| r == lock_rank) {
+            held.remove(pos);
+        }
+    });
 }
 
 /// A `Mutex` that participates in the crate-wide lock-rank order.
@@ -117,29 +166,12 @@ impl<T> RankedMutex<T> {
     /// unwound guards, so the data is safe to hand out.
     pub fn acquire(&self) -> RankedGuard<'_, T> {
         #[cfg(debug_assertions)]
-        HELD.with(|held| {
-            let held = held.borrow();
-            if let Some(&(top_rank, top_label)) = held.last() {
-                assert!(
-                    self.lock_rank > top_rank,
-                    "lock-rank violation: acquiring `{}` (rank {}) while holding \
-                     `{}` (rank {}); locks must be taken in strictly increasing \
-                     rank order (wal < allocator < superblock < node cache < \
-                     shard < pager < stats)",
-                    self.label,
-                    self.lock_rank,
-                    top_label,
-                    top_rank,
-                );
-            }
-        });
+        check_and_push(self.lock_rank, self.label);
         let guard = self
             .inner
             // lint: allow(raw-lock) -- RankedMutex's own internal acquisition; the rank check above is the wrapper
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        #[cfg(debug_assertions)]
-        HELD.with(|held| held.borrow_mut().push((self.lock_rank, self.label)));
         RankedGuard {
             #[cfg(debug_assertions)]
             lock_rank: self.lock_rank,
@@ -182,16 +214,130 @@ impl<T: ?Sized> DerefMut for RankedGuard<'_, T> {
 #[cfg(debug_assertions)]
 impl<T: ?Sized> Drop for RankedGuard<'_, T> {
     fn drop(&mut self) {
-        HELD.with(|held| {
-            let mut held = held.borrow_mut();
-            // Guards usually drop LIFO, but scopes like
-            // `(a.acquire(), b.acquire())` may release out of order, so
-            // remove the last entry *matching this rank* rather than
-            // blindly popping the top.
-            if let Some(pos) = held.iter().rposition(|&(r, _)| r == self.lock_rank) {
-                held.remove(pos);
-            }
-        });
+        pop_rank(self.lock_rank);
+    }
+}
+
+/// An `RwLock` that participates in the crate-wide lock-rank order —
+/// the rank-checked wrapper the `boxagg-lint` raw-lock rule (R3) asks
+/// for before a reader-writer lock may enter `pagestore`.
+///
+/// Both acquisition modes are rank-checked identically: a shared
+/// acquisition in the wrong order can still deadlock an exclusive
+/// waiter, so readers get no exemption.  Used for the commit write
+/// barrier (rank [`BARRIER`]): page writers hold it shared for the
+/// duration of one mutation, [`BufferPool::commit`] holds it
+/// exclusively while snapshotting dirty frames, so the snapshot is a
+/// point-in-time cut that can never capture half of a single page
+/// write.
+///
+/// [`BufferPool::commit`]: crate::buffer::BufferPool::commit
+pub struct RankedRwLock<T: ?Sized> {
+    lock_rank: u32,
+    label: &'static str,
+    // lint: allow(raw-lock) -- RankedRwLock IS the rank-checked wrapper over RwLock
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RankedRwLock<T> {
+    /// Wraps `value` in a reader-writer lock at position `lock_rank` (a
+    /// [`rank`](self) constant) in the lock order.  `label` names the
+    /// lock in rank-panic messages.
+    pub fn new(lock_rank: u32, label: &'static str, value: T) -> Self {
+        Self {
+            lock_rank,
+            label,
+            // lint: allow(raw-lock) -- RankedRwLock IS the rank-checked wrapper over RwLock
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires the lock shared, blocking until no writer holds it.
+    ///
+    /// In debug builds, panics on a rank-order violation exactly like
+    /// [`RankedMutex::acquire`]; the shared mode is *not* reentrant —
+    /// a thread must not take the same lock shared twice (a queued
+    /// writer between the two acquisitions would deadlock it).
+    pub fn acquire_shared(&self) -> RankedReadGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        check_and_push(self.lock_rank, self.label);
+        let guard = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        RankedReadGuard {
+            #[cfg(debug_assertions)]
+            lock_rank: self.lock_rank,
+            guard,
+        }
+    }
+
+    /// Acquires the lock exclusively, blocking until every reader and
+    /// writer has released it.
+    pub fn acquire_excl(&self) -> RankedWriteGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        check_and_push(self.lock_rank, self.label);
+        let guard = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        RankedWriteGuard {
+            #[cfg(debug_assertions)]
+            lock_rank: self.lock_rank,
+            guard,
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RankedRwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RankedRwLock")
+            .field("rank", &self.lock_rank)
+            .field("label", &self.label)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// Shared guard returned by [`RankedRwLock::acquire_shared`].
+pub struct RankedReadGuard<'a, T: ?Sized> {
+    #[cfg(debug_assertions)]
+    lock_rank: u32,
+    guard: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RankedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T: ?Sized> Drop for RankedReadGuard<'_, T> {
+    fn drop(&mut self) {
+        pop_rank(self.lock_rank);
+    }
+}
+
+/// Exclusive guard returned by [`RankedRwLock::acquire_excl`].
+pub struct RankedWriteGuard<'a, T: ?Sized> {
+    #[cfg(debug_assertions)]
+    lock_rank: u32,
+    guard: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RankedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> DerefMut for RankedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T: ?Sized> Drop for RankedWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        pop_rank(self.lock_rank);
     }
 }
 
@@ -235,6 +381,57 @@ mod tests {
         drop(gp);
         // Would panic here if SHARD or PAGER were still recorded.
         let _ga = a.acquire();
+    }
+
+    #[test]
+    fn rwlock_orders_with_mutexes() {
+        let barrier = RankedRwLock::new(BARRIER, "write barrier", 0u32);
+        let shard = RankedMutex::new(SHARD, "shard", 0u32);
+        {
+            let _r = barrier.acquire_shared();
+            let _s = shard.acquire();
+        }
+        {
+            let _w = barrier.acquire_excl();
+            let _s = shard.acquire();
+        }
+        // Released in between: either mode reacquires cleanly.
+        let _r = barrier.acquire_shared();
+    }
+
+    #[test]
+    fn rwlock_shared_does_not_exclude_shared() {
+        let barrier = std::sync::Arc::new(RankedRwLock::new(BARRIER, "write barrier", 0u32));
+        let g = barrier.acquire_shared();
+        let other = std::sync::Arc::clone(&barrier);
+        // A second reader on another thread must get through while this
+        // thread still holds its shared guard.
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let _r = other.acquire_shared();
+            });
+        });
+        drop(g);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn rwlock_violation_panics_in_either_mode() {
+        let barrier = RankedRwLock::new(BARRIER, "write barrier", 0u32);
+        let shard = RankedMutex::new(SHARD, "shard", 0u32);
+        let _s = shard.acquire();
+        for excl in [false, true] {
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if excl {
+                    let _ = barrier.acquire_excl();
+                } else {
+                    let _ = barrier.acquire_shared();
+                }
+            }))
+            .expect_err("barrier after shard must trip the rank checker");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("lock-rank violation"), "got: {msg}");
+        }
     }
 
     #[cfg(debug_assertions)]

@@ -18,7 +18,7 @@ use std::any::Any;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use boxagg_common::error::{invalid_arg, Error, Result};
+use boxagg_common::error::{corrupt, invalid_arg, Error, Result};
 
 use crate::buffer::{BufferPool, IoStats};
 use crate::nodecache::NodeCache;
@@ -261,11 +261,27 @@ impl SharedStore {
         }
         let payload = self.pool.with_page(PageId(0), |d| d.to_vec())?;
         if payload.iter().all(|&b| b == 0) {
-            // Pages exist but page 0 was never formatted (a raw pager
-            // file from the compatibility path): adopt it in place.
-            self.pool.write_page(PageId(0), &fresh.encode())?;
-            self.pool.flush_all()?;
-            return self.install_superblock(fresh);
+            // An all-zero page 0 is ambiguous: it is what a crash
+            // *during* the initial format leaves (page 0 allocated, the
+            // superblock image not yet durable — the commit protocol
+            // guarantees nothing else was applied first), but it is
+            // also what a raw compatibility-path store looks like when
+            // its first data page happens to hold a zero payload (the
+            // zero-mask checksum stamps such a page as all zeros too).
+            // Only the former is safe to format over, and it is
+            // recognizable by the file holding nothing *but* that one
+            // page; a multi-page file is someone's data — refuse with a
+            // typed error instead of silently clobbering page 0.
+            if self.pool.allocated_pages() == 1 {
+                self.pool.write_page(PageId(0), &fresh.encode())?;
+                self.pool.flush_all()?;
+                return self.install_superblock(fresh);
+            }
+            return Err(corrupt(
+                "page 0 is not a superblock (all zeros in a multi-page file); \
+                 raw compatibility-path stores must be opened with \
+                 `SharedStore::with_pager`, not `SharedStore::open`",
+            ));
         }
         let sb = Superblock::decode(&payload)?;
         if sb.page_size as usize != config.page_size {
@@ -581,6 +597,56 @@ mod tests {
         for (i, &id) in ids.iter().enumerate() {
             assert_eq!(s.with_page(id, |d| d[0]).unwrap(), i as u8);
         }
+    }
+
+    fn file_cfg(path: std::path::PathBuf) -> StoreConfig {
+        StoreConfig {
+            page_size: 256,
+            buffer_pages: 4,
+            backing: Backing::File(path),
+            parallelism: 1,
+            node_cache_pages: 4,
+            checksums: true,
+            wal: false,
+        }
+    }
+
+    #[test]
+    fn crash_during_initial_format_is_adopted_on_reopen() {
+        // What a crash between "allocate page 0" and "superblock image
+        // durable" leaves behind: a file holding exactly one all-zero
+        // page. Reopening must format it as a fresh store.
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("store.db");
+        std::fs::write(&path, vec![0u8; 256]).unwrap();
+        let s = SharedStore::open(&file_cfg(path.clone())).unwrap();
+        let id = s.allocate().unwrap();
+        s.write_page(id, &[9; 8]).unwrap();
+        s.flush().unwrap();
+        drop(s);
+        let s = SharedStore::open(&file_cfg(path)).unwrap();
+        assert_eq!(s.with_page(id, |d| d[0]).unwrap(), 9);
+    }
+
+    #[test]
+    fn zero_page0_in_multi_page_file_is_corrupt_not_clobbered() {
+        // Regression: a raw compatibility-path store whose page 0
+        // legitimately holds a zero payload (the zero-mask checksum
+        // stamps it as all zeros) used to be treated as "never
+        // formatted" and silently overwritten with a fresh superblock.
+        // A multi-page file cannot be the crash-during-format case, so
+        // it must be refused, byte-for-byte untouched.
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("raw.db");
+        let mut raw = vec![0u8; 512];
+        raw[300] = 7; // second page holds data
+        std::fs::write(&path, &raw).unwrap();
+        let err = SharedStore::open(&file_cfg(path.clone())).unwrap_err();
+        assert!(
+            err.to_string().contains("not a superblock"),
+            "expected typed corrupt error, got: {err}"
+        );
+        assert_eq!(std::fs::read(&path).unwrap(), raw, "file left untouched");
     }
 
     #[test]

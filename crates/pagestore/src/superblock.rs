@@ -223,6 +223,17 @@ impl Superblock {
             let len = r.get_u64()?;
             let dims = r.get_u32()?;
             let max_value_size = r.get_u32()?;
+            // Bound the pre-allocation before trusting `dims`: each
+            // dimension needs 16 payload bytes, so a corrupt count is a
+            // typed error here instead of a multi-GiB allocation.
+            let need = (dims as usize).checked_mul(16);
+            if need.is_none_or(|n| n > r.remaining()) {
+                return Err(corrupt(format!(
+                    "root `{name}` declares {dims} dimensions but only \
+                     {} payload bytes remain",
+                    r.remaining()
+                )));
+            }
             let mut bounds = Vec::with_capacity(dims as usize);
             for _ in 0..dims {
                 let lo = r.get_f64()?;
@@ -317,6 +328,36 @@ mod tests {
         let mut bytes = sample().encode();
         bytes[0] ^= 0xFF;
         assert!(matches!(Superblock::decode(&bytes), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn corrupt_dims_is_typed_error_not_huge_allocation() {
+        // A corrupted dims field used to drive Vec::with_capacity
+        // directly (u32::MAX dims → a 64 GiB reservation attempt);
+        // decode must bound it against the remaining payload first.
+        let mut sb = Superblock::new(4096, true);
+        sb.set_root(
+            "t",
+            RootEntry {
+                root: PageId(3),
+                len: 1,
+                dims: 1,
+                max_value_size: 0,
+                kind: RootKind::BaTree,
+                bounds: vec![(0.0, 1.0)],
+            },
+        );
+        let mut bytes = sb.encode();
+        // dims sits after magic(8) + version(2) + flags(1) +
+        // reserved(1) + page_size(4) + count(4) + name_len(2) +
+        // name(1) + kind(1) + root(8) + len(8) = offset 40.
+        bytes[40..44].copy_from_slice(&[0xFF; 4]);
+        match Superblock::decode(&bytes) {
+            Err(Error::Corrupt(msg)) => {
+                assert!(msg.contains("dimensions"), "{msg}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]

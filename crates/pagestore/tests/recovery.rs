@@ -220,6 +220,18 @@ fn store_without_checksum_verification_still_recovers() {
         ids
     };
 
+    // The in-process error path rolls the torn tail back out of the
+    // log, so re-tear it the way a crash would leave it: a partial
+    // record at the tail of the WAL file, persisted.
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(wal_path(&path))
+            .unwrap();
+        f.write_all(&[0xAB; 7]).unwrap();
+    }
+
     let store = SharedStore::open(&cfg).unwrap();
     let report = store.recovery_report();
     assert_eq!(report.txns_replayed, 0, "torn txn must not replay");
@@ -232,4 +244,63 @@ fn store_without_checksum_verification_still_recovers() {
         );
     }
     store.validate().unwrap();
+}
+
+#[test]
+fn failed_append_during_retry_keeps_log_decodable() {
+    // Regression for the commit error path: a commit that dies while
+    // *logging* must roll the WAL back to its pre-transaction length —
+    // which is NOT always zero. An earlier commit whose apply phase
+    // died leaves its fully committed transaction in the log; the
+    // rollback must preserve it, and the retry's records must land
+    // after it. Before the fix the torn tail stayed put, the retry's
+    // `begin` landed inside the open transaction, and a crash before
+    // the retry's truncate made the store permanently unopenable
+    // (recovery reported WalCorrupt).
+    let dir = tempdir::tempdir().unwrap();
+    let path = dir.path().join("pages.db");
+    let cfg = wal_config(path.clone());
+
+    let file = FilePager::create(&path, PAGE).unwrap();
+    let (pager, faults) = FaultPager::new(Box::new(file));
+    let store = SharedStore::open_with_pager(Box::new(pager), &cfg).unwrap();
+    let ids: Vec<PageId> = (0..4u8)
+        .map(|i| {
+            let id = store.allocate().unwrap();
+            store.write_page(id, &[i; 32]).unwrap();
+            id
+        })
+        .collect();
+    store.commit().unwrap();
+
+    // Txn T: the apply phase dies after the log sync, so T stays in
+    // the WAL, committed.
+    for &id in &ids {
+        store.write_page(id, &[0xA0 ^ id.0 as u8; 32]).unwrap();
+    }
+    faults.arm(FaultSpec::sticky_from(OpFilter::Writes, 0));
+    assert!(is_injected(&store.commit().unwrap_err()));
+
+    // The retry dies while logging (second append, mid-transaction):
+    // the rollback must shed only the torn tail, leaving T intact.
+    faults.disarm();
+    store.write_page(ids[0], &[0xEE; 32]).unwrap();
+    faults.arm(FaultSpec::error_at(OpFilter::WalAppends, 1));
+    assert!(is_injected(&store.commit().unwrap_err()));
+
+    // A second retry logs txn T2 cleanly after T, then dies applying.
+    faults.arm(FaultSpec::sticky_from(OpFilter::Writes, 0));
+    assert!(is_injected(&store.commit().unwrap_err()));
+    drop(store);
+
+    // Crash + reopen: the log must decode as [T, T2], replay both,
+    // and land in the post-T2 state.
+    let recovered = SharedStore::open(&cfg).unwrap();
+    let report = recovered.recovery_report();
+    assert_eq!(report.txns_replayed, 2, "both committed txns replayed");
+    for &id in &ids {
+        let want = if id == ids[0] { 0xEE } else { 0xA0 ^ id.0 as u8 };
+        assert_eq!(recovered.with_page(id, |d| d[0]).unwrap(), want);
+    }
+    recovered.validate().unwrap();
 }
