@@ -53,23 +53,54 @@ use boxagg_common::bytes::ByteWriter;
 use boxagg_common::error::{invalid_arg, Result};
 use boxagg_common::geom::{Point, Rect};
 use boxagg_common::value::AggValue;
-use boxagg_pagestore::{PageId, SharedStore};
+use boxagg_pagestore::{PageId, SharedStore, StoreSnapshot};
 
 use crate::node::{BaParams, BorderRef, IndexRecord, Node};
 
 /// Shared context threaded through every operation.
+///
+/// `snap` selects the read source: `None` reads the live store (through
+/// the decoded-node cache), `Some` reads page images as of the
+/// snapshot's pinned commit epoch — a concurrent committer cannot
+/// perturb the traversal. Snapshot contexts are read-only; mutation
+/// entry points assert `snap.is_none()`.
 #[derive(Clone, Copy)]
 pub(crate) struct Ctx<'a> {
     pub store: &'a SharedStore,
     pub params: &'a BaParams,
+    pub snap: Option<&'a StoreSnapshot>,
 }
 
 impl<'a> Ctx<'a> {
+    /// A context reading (and writing) the live store.
+    pub(crate) fn live(store: &'a SharedStore, params: &'a BaParams) -> Self {
+        Ctx {
+            store,
+            params,
+            snap: None,
+        }
+    }
+
+    /// A read-only context pinned to `snap`'s commit epoch.
+    pub(crate) fn at(snap: &'a StoreSnapshot, params: &'a BaParams) -> Self {
+        Ctx {
+            store: snap.store(),
+            params,
+            snap: Some(snap),
+        }
+    }
+
     /// Shared read through the store's decoded-node cache: warm
     /// traversals skip `Node::decode` entirely. Byte-level I/O
     /// accounting is unchanged (see `SharedStore::read_node`).
+    ///
+    /// Snapshot contexts decode from the pinned epoch's page image
+    /// instead — the cache only tracks live bytes.
     fn read_shared<V: AggValue>(&self, id: PageId, dim: usize) -> Result<std::sync::Arc<Node<V>>> {
-        self.store.read_node(id, |bytes| Node::decode(bytes, dim))
+        match self.snap {
+            Some(s) => s.read_node(id, |bytes| Node::decode(bytes, dim)),
+            None => self.store.read_node(id, |bytes| Node::decode(bytes, dim)),
+        }
     }
 
     /// Owned read for mutation paths: a deep clone of the shared decode
@@ -90,6 +121,7 @@ impl<'a> Ctx<'a> {
     }
 
     fn write<V: AggValue>(&self, id: PageId, dim: usize, node: &Node<V>) -> Result<()> {
+        debug_assert!(self.snap.is_none(), "mutating through a snapshot context");
         debug_assert!(node.fits(self.params, dim), "writing oversized node");
         let mut w = ByteWriter::with_capacity(self.params.page_size);
         node.encode(dim, &mut w);

@@ -4,7 +4,7 @@ use boxagg_common::error::{invalid_arg, Result};
 use boxagg_common::geom::{Point, Rect};
 use boxagg_common::traits::DominanceSumIndex;
 use boxagg_common::value::AggValue;
-use boxagg_pagestore::{PageId, RootEntry, RootKind, SharedStore};
+use boxagg_pagestore::{PageId, RootEntry, RootKind, SharedStore, StoreSnapshot};
 
 use crate::bulk;
 use crate::node::BaParams;
@@ -55,10 +55,7 @@ impl<V: AggValue> BATree<V> {
         };
         params.validate(space.dim())?;
         let root = {
-            let ctx = Ctx {
-                store: &store,
-                params: &params,
-            };
+            let ctx = Ctx::live(&store, &params);
             ops::tree_new::<V>(ctx, space.dim())?
         };
         Ok(Self {
@@ -98,10 +95,7 @@ impl<V: AggValue> BATree<V> {
             }
         }
         let root = {
-            let ctx = Ctx {
-                store: &store,
-                params: &params,
-            };
+            let ctx = Ctx::live(&store, &params);
             if points.is_empty() {
                 ops::tree_new::<V>(ctx, space.dim())?
             } else {
@@ -177,6 +171,26 @@ impl<V: AggValue> BATree<V> {
         let entry = store
             .root(name)?
             .ok_or_else(|| invalid_arg(format!("no root named {name:?} in the store catalog")))?;
+        Self::open_entry(store, name, entry)
+    }
+
+    /// Reopens a tree published by [`persist_as`](Self::persist_as) *as
+    /// of a pinned snapshot's commit epoch*: the root (and length) come
+    /// from the superblock image that epoch saw, so pair the result
+    /// with [`dominance_sum_at`](Self::dominance_sum_at) on the same
+    /// snapshot to query exactly that commit's tree while writers keep
+    /// committing.
+    pub fn open_named_at(snap: &StoreSnapshot, name: &str) -> Result<Self> {
+        let entry = snap.root(name)?.ok_or_else(|| {
+            invalid_arg(format!(
+                "no root named {name:?} in the store catalog at epoch {}",
+                snap.epoch()
+            ))
+        })?;
+        Self::open_entry(snap.store().clone(), name, entry)
+    }
+
+    fn open_entry(store: SharedStore, name: &str, entry: RootEntry) -> Result<Self> {
         if entry.kind != RootKind::BaTree {
             return Err(invalid_arg(format!(
                 "root {name:?} is a {:?}, not a BA-tree",
@@ -205,21 +219,36 @@ impl<V: AggValue> BATree<V> {
 
     /// Collects every point inserted so far (diagnostics and tests).
     pub fn enumerate(&self) -> Result<Vec<(Point, V)>> {
-        let ctx = Ctx {
-            store: &self.store,
-            params: &self.params,
-        };
+        let ctx = Ctx::live(&self.store, &self.params);
         let mut out = Vec::new();
         ops::tree_enumerate(ctx, self.space.dim(), self.root, &mut out)?;
         Ok(out)
     }
 
+    /// Dominance-sum evaluated against a pinned snapshot: every node
+    /// read resolves to the page image of `snap`'s commit epoch, so a
+    /// concurrent writer — even one mid-commit — cannot perturb the
+    /// answer. The tree handle itself (root page, space) must also
+    /// date from that epoch: open it with
+    /// [`open_named_at`](Self::open_named_at) on the same snapshot.
+    ///
+    /// Takes `&self`: snapshot queries are read-only and touch no tree
+    /// state, so many may run concurrently.
+    pub fn dominance_sum_at(&self, snap: &StoreSnapshot, q: &Point) -> Result<V> {
+        if q.dim() != self.space.dim() {
+            return Err(invalid_arg(format!(
+                "query dimension {} != tree dimension {}",
+                q.dim(),
+                self.space.dim()
+            )));
+        }
+        let ctx = Ctx::at(snap, &self.params);
+        ops::tree_query(ctx, self.space.dim(), &self.space, self.root, q)
+    }
+
     /// Frees every page of the tree, leaving it unusable.
     pub fn destroy(self) -> Result<()> {
-        let ctx = Ctx {
-            store: &self.store,
-            params: &self.params,
-        };
+        let ctx = Ctx::live(&self.store, &self.params);
         ops::tree_free::<V>(ctx, self.space.dim(), self.root)
     }
 }
@@ -231,10 +260,7 @@ impl BATree<f64> {
     /// including spilled border trees. `O(n · fanout)` per level — for
     /// tests and debugging, not production paths.
     pub fn check_consistency(&self) -> Result<()> {
-        let ctx = Ctx {
-            store: &self.store,
-            params: &self.params,
-        };
+        let ctx = Ctx::live(&self.store, &self.params);
         ops::check_consistency(ctx, self.space.dim(), &self.space, self.root)
     }
 }
@@ -262,10 +288,7 @@ impl<V: AggValue> DominanceSumIndex<V> for BATree<V> {
             v.encoded_size() <= self.params.max_value_size,
             "value exceeds the configured max encoded size"
         );
-        let ctx = Ctx {
-            store: &self.store,
-            params: &self.params,
-        };
+        let ctx = Ctx::live(&self.store, &self.params);
         self.root = ops::tree_insert(ctx, self.space.dim(), &self.space, self.root, p, v)?;
         self.len += 1;
         Ok(())
@@ -279,10 +302,7 @@ impl<V: AggValue> DominanceSumIndex<V> for BATree<V> {
                 self.dim()
             )));
         }
-        let ctx = Ctx {
-            store: &self.store,
-            params: &self.params,
-        };
+        let ctx = Ctx::live(&self.store, &self.params);
         ops::tree_query(ctx, self.space.dim(), &self.space, self.root, q)
     }
 
@@ -672,6 +692,48 @@ mod tests {
         assert!(err.to_string().contains("corrupt"), "got: {err}");
         let err = t.insert(Point::new(&[0.5, 0.5]), 1.0).unwrap_err();
         assert!(err.to_string().contains("corrupt"), "got: {err}");
+    }
+
+    #[test]
+    fn snapshot_queries_are_stable_under_later_commits() {
+        let store = SharedStore::open(&StoreConfig::small(512, 64).with_wal(true)).unwrap();
+        let mut t: BATree<f64> = BATree::create(store.clone(), unit_space(2), 8).unwrap();
+        let mut s = 21u64;
+        for _ in 0..200 {
+            t.insert(Point::from_fn(2, |_| rnd(&mut s)), 1.0).unwrap();
+        }
+        t.persist_as("t").unwrap();
+        store.commit().unwrap();
+
+        let snap = store.snapshot().unwrap();
+        let frozen: BATree<f64> = BATree::open_named_at(&snap, "t").unwrap();
+        assert_eq!(frozen.len(), 200);
+        let q = Point::new(&[0.8, 0.8]);
+        let want = frozen.dominance_sum_at(&snap, &q).unwrap();
+        assert_eq!(t.dominance_sum(&q).unwrap(), want);
+
+        // Keep inserting and committing: splits rewrite, free and
+        // reallocate pages the pinned epoch still needs.
+        for i in 0..300 {
+            t.insert(Point::from_fn(2, |_| rnd(&mut s)), 1.0).unwrap();
+            if i % 60 == 59 {
+                t.persist_as("t").unwrap();
+                store.commit().unwrap();
+            }
+        }
+        t.persist_as("t").unwrap();
+        store.commit().unwrap();
+
+        // The snapshot still answers from its epoch — root, length and
+        // every page image are the pinned commit's.
+        assert_eq!(frozen.dominance_sum_at(&snap, &q).unwrap(), want);
+        let refrozen: BATree<f64> = BATree::open_named_at(&snap, "t").unwrap();
+        assert_eq!(refrozen.len(), 200);
+        assert_eq!(refrozen.dominance_sum_at(&snap, &q).unwrap(), want);
+        // The live tree has moved on.
+        assert!(t.dominance_sum(&q).unwrap() > want);
+        drop(snap);
+        store.validate().unwrap();
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! every index the recovered store must validate and answer
 //! bit-identically to exactly one committed state (empty, txn 1 or
 //! txn 2), never an in-between hybrid, with committed transactions
-//! never lost and uncommitted ones never surfacing.
+//! never lost and uncommitted ones never surfacing. A third mode
+//! repeats the clean-kill sweep with transaction 2 committed by two
+//! threads grouped behind one WAL append (see
+//! [`CrashConfig::concurrent_commit2`]).
 //!
 //! `--smoke` runs the small exhaustive configuration (every op index)
 //! and writes nothing — the CI gate. The full run scales the workload
@@ -98,6 +101,7 @@ fn main() {
                 seed: args.seed,
                 stride: 1,
                 torn_kills: false,
+                concurrent_commit2: false,
             }
         };
         if !args.smoke {
@@ -120,6 +124,12 @@ fn main() {
         results.push(sweep(&cfg, "kill"));
         cfg.torn_kills = true;
         results.push(sweep(&cfg, "torn-kill"));
+        // Grouped mode: txn 2 commits from two threads, the follower
+        // absorbed behind a parked leader, and the sweep still has to
+        // land on exactly one committed state at every kill index.
+        cfg.torn_kills = false;
+        cfg.concurrent_commit2 = true;
+        results.push(sweep(&cfg, "grouped-kill"));
     }
 
     let rows: Vec<Vec<String>> = results

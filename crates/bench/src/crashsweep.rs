@@ -36,6 +36,19 @@
 //!
 //! A faulted run that completes anyway means a layer swallowed the
 //! injected failure — a hard panic, as in the fault sweep.
+//!
+//! ## Grouped commits
+//!
+//! With [`CrashConfig::concurrent_commit2`] set, transaction 2's
+//! commit is issued from **two threads**: a leader that is parked
+//! inside its WAL fsync (past capture and the log append, before the
+//! atomicity point) and a second committer that starts while the
+//! leader is parked. The group-commit protocol makes the second
+//! committer a zero-I/O follower — the leader's WAL sync covers it —
+//! so the swept op stream stays deterministic while every kill point
+//! now lands inside a *grouped* commit. Recovery must still land on
+//! exactly one committed state: a kill before the leader's sync loses
+//! the whole group, a kill after it loses nothing.
 
 use boxagg_batree::BATree;
 use boxagg_common::error::Error;
@@ -45,10 +58,15 @@ use boxagg_common::tempdir;
 use boxagg_common::traits::DominanceSumIndex;
 use boxagg_common::Result;
 use boxagg_ecdf::{BorderPolicy, EcdfBTree};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
 use boxagg_pagestore::fault::{is_injected, FaultHandle};
 use boxagg_pagestore::pager::wal_path;
+use boxagg_pagestore::wal::WalFile;
 use boxagg_pagestore::{
-    Backing, FaultPager, FaultSpec, FilePager, OpFilter, SharedStore, StoreConfig,
+    Backing, FaultPager, FaultSpec, FilePager, OpFilter, PageId, Pager, SharedStore, StoreConfig,
 };
 
 use crate::faultsweep::SweepScheme;
@@ -78,6 +96,10 @@ pub struct CrashConfig {
     /// Kill with a torn write (a prefix of the page image or log record
     /// persists) instead of a clean error.
     pub torn_kills: bool,
+    /// Issue transaction 2's commit from two threads, grouping the
+    /// second committer behind a leader parked in its WAL fsync (see
+    /// the module docs).
+    pub concurrent_commit2: bool,
 }
 
 impl CrashConfig {
@@ -95,6 +117,7 @@ impl CrashConfig {
             seed: 0xC_4A54,
             stride: 1,
             torn_kills: false,
+            concurrent_commit2: false,
         }
     }
 
@@ -102,6 +125,15 @@ impl CrashConfig {
     pub fn small_torn(scheme: SweepScheme) -> Self {
         Self {
             torn_kills: true,
+            ..Self::small(scheme)
+        }
+    }
+
+    /// The grouped-commit variant of [`small`](Self::small): every
+    /// kill position is swept against a two-thread commit of txn 2.
+    pub fn small_grouped(scheme: SweepScheme) -> Self {
+        Self {
+            concurrent_commit2: true,
             ..Self::small(scheme)
         }
     }
@@ -168,6 +200,107 @@ fn store_config(cfg: &CrashConfig, path: &std::path::Path) -> StoreConfig {
     }
 }
 
+/// Driver-side handle to the parking WAL: `armed` makes the next WAL
+/// sync park (signalling `parked`) until `resume` fires. `signal` is a
+/// clone of `parked`'s sender so a committer that dies *before*
+/// reaching the sync can still unblock the driver.
+struct ParkHandle {
+    armed: Arc<AtomicBool>,
+    parked: Receiver<()>,
+    resume: Sender<()>,
+    signal: Sender<()>,
+}
+
+/// A [`WalFile`] that, once armed, parks its first sync on the
+/// [`ParkHandle`] channels — holding a commit leader still, mid-fsync,
+/// while the sweep lines a second committer up behind it.
+struct ParkWal {
+    inner: Box<dyn WalFile>,
+    armed: Arc<AtomicBool>,
+    hook: Option<(Sender<()>, Receiver<()>)>,
+}
+
+impl WalFile for ParkWal {
+    fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.inner.append(bytes)
+    }
+    fn sync(&mut self) -> Result<()> {
+        if self.armed.load(Ordering::SeqCst) {
+            if let Some((signal, resume)) = self.hook.take() {
+                // The driver holds both channel ends; a send/recv can
+                // only fail if it panicked, which already fails the
+                // sweep.
+                let _ = signal.send(());
+                let _ = resume.recv();
+            }
+        }
+        self.inner.sync()
+    }
+    fn len(&mut self) -> Result<u64> {
+        self.inner.len()
+    }
+    fn rollback(&mut self, len: u64) -> Result<()> {
+        self.inner.rollback(len)
+    }
+    fn truncate(&mut self) -> Result<()> {
+        self.inner.truncate()
+    }
+}
+
+/// A pass-through pager whose split-off WAL handle is a [`ParkWal`].
+struct ParkPager {
+    inner: FaultPager,
+    armed: Arc<AtomicBool>,
+    hook: Option<(Sender<()>, Receiver<()>)>,
+}
+
+impl Pager for ParkPager {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+    fn allocate(&mut self) -> Result<PageId> {
+        self.inner.allocate()
+    }
+    fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        self.inner.read_page(id, buf)
+    }
+    fn write_page(&mut self, id: PageId, data: &[u8]) -> Result<()> {
+        self.inner.write_page(id, data)
+    }
+    fn sync(&mut self) -> Result<()> {
+        self.inner.sync()
+    }
+    fn wal_append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.inner.wal_append(bytes)
+    }
+    fn wal_sync(&mut self) -> Result<()> {
+        self.inner.wal_sync()
+    }
+    fn wal_len(&mut self) -> Result<u64> {
+        self.inner.wal_len()
+    }
+    fn wal_rollback(&mut self, len: u64) -> Result<()> {
+        self.inner.wal_rollback(len)
+    }
+    fn wal_truncate(&mut self) -> Result<()> {
+        self.inner.wal_truncate()
+    }
+    fn wal_read(&mut self) -> Result<Vec<u8>> {
+        self.inner.wal_read()
+    }
+    fn split_wal(&mut self) -> Option<Box<dyn WalFile>> {
+        let inner = self.inner.split_wal()?;
+        Some(Box::new(ParkWal {
+            inner,
+            armed: self.armed.clone(),
+            hook: self.hook.take(),
+        }))
+    }
+}
+
 /// Indexes the sweep can persist by name and reopen by name.
 trait CrashIndex: DominanceSumIndex<f64> {
     fn persist(&self, name: &str) -> Result<()>;
@@ -227,10 +360,12 @@ fn query_all(index: &mut dyn CrashIndex, queries: &[Point]) -> Result<Vec<u64>> 
 /// pager-op count right after each commit returns; the answers of the
 /// two query passes come back on success. Any injected failure
 /// propagates out of here at the point it fired.
+#[allow(clippy::too_many_arguments)] // internal driver: the sweep threads one context through, not an API
 fn drive(
     cfg: &CrashConfig,
     store: &SharedStore,
     faults: &FaultHandle,
+    park: &ParkHandle,
     bulk: &[(Point, f64)],
     inserts: &[(Point, f64)],
     queries: &[Point],
@@ -245,10 +380,55 @@ fn drive(
         index.insert(*p, *v)?;
     }
     index.persist(ROOT)?;
-    store.commit()?;
+    if cfg.concurrent_commit2 {
+        commit_grouped(store, park)?;
+    } else {
+        store.commit()?;
+    }
     boundaries.push(faults.counts().total());
     let a2 = query_all(&mut *index, queries)?;
     Ok((a1, a2))
+}
+
+/// Commits from two threads, grouped: the leader parks inside its WAL
+/// fsync; the follower enters `commit()` while the leader is parked,
+/// so the group-commit protocol must absorb it with zero I/O of its
+/// own (keeping the swept op stream deterministic).
+///
+/// If a kill fells the leader, the follower retries as leader and dies
+/// on the same sticky fault; the first error is returned either way.
+fn commit_grouped(store: &SharedStore, park: &ParkHandle) -> Result<()> {
+    park.armed.store(true, Ordering::SeqCst);
+    let leader = {
+        let s = store.clone();
+        let death = park.signal.clone();
+        std::thread::spawn(move || {
+            let r = s.commit();
+            // Unblocks the driver when a kill fired before the park.
+            let _ = death.send(());
+            r
+        })
+    };
+    // Either the leader is now parked mid-fsync, or it died first.
+    let _ = park.parked.recv();
+    let (started_tx, started_rx) = std::sync::mpsc::channel();
+    let follower = {
+        let s = store.clone();
+        std::thread::spawn(move || {
+            let _ = started_tx.send(());
+            s.commit()
+        })
+    };
+    // Resume the leader only once the follower is queued behind it (it
+    // samples the group-commit state on entry, then blocks on the
+    // commit lock the parked leader holds). The sleep is margin for a
+    // preemption between the follower's signal and that sample.
+    let _ = started_rx.recv();
+    std::thread::sleep(std::time::Duration::from_micros(200));
+    let _ = park.resume.send(());
+    let lr = leader.join().expect("leader thread");
+    let fr = follower.join().expect("follower thread");
+    lr.and(fr)
 }
 
 /// Removes any previous generation of the file set, then opens a fresh
@@ -259,7 +439,7 @@ fn fresh_faulted_store(
     cfg: &CrashConfig,
     path: &std::path::Path,
     spec: Option<FaultSpec>,
-) -> (Result<SharedStore>, FaultHandle) {
+) -> (Result<SharedStore>, FaultHandle, ParkHandle) {
     std::fs::remove_file(path).ok();
     std::fs::remove_file(wal_path(path)).ok();
     let file = match FilePager::create(path, cfg.page_size) {
@@ -271,8 +451,22 @@ fn fresh_faulted_store(
     if let Some(spec) = spec {
         faults.arm(spec);
     }
+    let (park_tx, park_rx) = std::sync::mpsc::channel();
+    let (resume_tx, resume_rx) = std::sync::mpsc::channel();
+    let armed = Arc::new(AtomicBool::new(false));
+    let park = ParkHandle {
+        armed: armed.clone(),
+        parked: park_rx,
+        resume: resume_tx,
+        signal: park_tx.clone(),
+    };
+    let pager = ParkPager {
+        inner: pager,
+        armed,
+        hook: Some((park_tx, resume_rx)),
+    };
     let store = SharedStore::open_with_pager(Box::new(pager), &store_config(cfg, path));
-    (store, faults)
+    (store, faults, park)
 }
 
 /// The clean run's committed states and op-index geometry.
@@ -291,13 +485,14 @@ fn baseline(
     inserts: &[(Point, f64)],
     queries: &[Point],
 ) -> Baseline {
-    let (store, counter) = fresh_faulted_store(cfg, path, None);
+    let (store, counter, park) = fresh_faulted_store(cfg, path, None);
     let store = store.expect("clean open must succeed");
     let mut boundaries = Vec::new();
     let (a1, a2) = drive(
         cfg,
         &store,
         &counter,
+        &park,
         bulk,
         inserts,
         queries,
@@ -365,13 +560,14 @@ pub fn run(cfg: &CrashConfig) -> CrashReport {
         } else {
             FaultSpec::sticky_from(OpFilter::Any, k)
         };
-        let (store, faults) = fresh_faulted_store(cfg, &path, Some(spec));
+        let (store, faults, park) = fresh_faulted_store(cfg, &path, Some(spec));
         let died = match store {
             Err(e) => Err(e),
             Ok(store) => drive(
                 cfg,
                 &store,
                 &faults,
+                &park,
                 &bulk,
                 &inserts,
                 &queries,
@@ -497,6 +693,26 @@ mod tests {
         // The full-size exhaustive sweeps live in tests/crash_sweep.rs
         // and the `crashes` bench binary; this is the in-crate canary.
         let report = run(&tiny(SweepScheme::BaTree));
+        assert_eq!(report.ks_tested, report.total_ops);
+        assert!(report.recovered_initial > 0, "{report:?}");
+        assert!(report.recovered_txn1 > 0, "{report:?}");
+        assert!(report.recovered_txn2 > 0, "{report:?}");
+        assert!(
+            report.txns_replayed > 0,
+            "some kills must replay from the WAL"
+        );
+    }
+
+    #[test]
+    fn tiny_grouped_commit_sweep_recovers_every_committed_state() {
+        // Transaction 2 commits from two threads (follower grouped
+        // behind a parked leader); the op stream must stay identical to
+        // the serial schedule and every kill must still land on exactly
+        // one committed state.
+        let report = run(&CrashConfig {
+            concurrent_commit2: true,
+            ..tiny(SweepScheme::BaTree)
+        });
         assert_eq!(report.ks_tested, report.total_ops);
         assert!(report.recovered_initial > 0, "{report:?}");
         assert!(report.recovered_txn1 > 0, "{report:?}");

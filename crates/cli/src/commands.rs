@@ -147,7 +147,10 @@ pub fn build(pages: &Path, csv: &Path, space_spec: &str, page_size: usize) -> Re
     // silently stack a second set of trees into the old file (or fail
     // with GeometryMismatch on a different --page-size), so remove the
     // file and its WAL sidecar first.
-    for stale in [pages.to_path_buf(), boxagg_pagestore::pager::wal_path(pages)] {
+    for stale in [
+        pages.to_path_buf(),
+        boxagg_pagestore::pager::wal_path(pages),
+    ] {
         match std::fs::remove_file(&stale) {
             Ok(()) => {}
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}

@@ -43,6 +43,18 @@ pub enum Error {
         /// What was structurally wrong.
         reason: String,
     },
+    /// A write-ahead-log buffer pool's uncommitted dirty working set
+    /// hit its configured ceiling. A no-steal pool pins dirty frames in
+    /// memory until commit, so an unbounded transaction grows the pool
+    /// without limit; callers that opt into a ceiling receive this typed
+    /// error and must commit (or abandon writes) to make room. The
+    /// failed write left the page untouched.
+    Backpressure {
+        /// Dirty frames currently pinned by the pool.
+        dirty: u64,
+        /// The configured ceiling that would have been exceeded.
+        ceiling: u64,
+    },
     /// A store was reopened with geometry that disagrees with what its
     /// superblock records (wrong page size, incompatible format
     /// version). Typed so callers can distinguish misconfiguration from
@@ -75,6 +87,11 @@ impl fmt::Display for Error {
                 f,
                 "page {page} failed checksum verification \
                  (stored {expected:#018x}, computed {found:#018x})"
+            ),
+            Error::Backpressure { dirty, ceiling } => write!(
+                f,
+                "dirty-page backpressure: {dirty} uncommitted dirty pages are at \
+                 the configured ceiling of {ceiling}; commit to release them"
             ),
             Error::WalCorrupt { offset, reason } => {
                 write!(f, "write-ahead log corrupt at byte {offset}: {reason}")
@@ -171,6 +188,18 @@ mod tests {
         assert!(s.contains("page_size"), "got: {s}");
         assert!(s.contains("1024"), "got: {s}");
         assert!(s.contains("4096"), "got: {s}");
+    }
+
+    #[test]
+    fn backpressure_reports_dirty_and_ceiling() {
+        let e = Error::Backpressure {
+            dirty: 96,
+            ceiling: 96,
+        };
+        let s = e.to_string();
+        assert!(s.contains("96"), "got: {s}");
+        assert!(s.contains("backpressure"), "got: {s}");
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

@@ -32,7 +32,7 @@ use boxagg_common::error::{corrupt, invalid_arg, Error, Result};
 use boxagg_common::geom::Point;
 use boxagg_common::traits::DominanceSumIndex;
 use boxagg_common::value::AggValue;
-use boxagg_pagestore::{PageId, RootEntry, RootKind, SharedStore};
+use boxagg_pagestore::{PageId, RootEntry, RootKind, SharedStore, StoreSnapshot};
 
 /// Which prefix of subtrees each border covers (Fig. 6).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -179,22 +179,34 @@ impl<V: AggValue> Node<V> {
     }
 }
 
+/// Shared context threaded through every operation. `snap` selects the
+/// read source: `None` reads the live store through the decoded-node
+/// cache; `Some` reads page images as of the snapshot's pinned commit
+/// epoch (read-only — mutation paths assert it is unset).
 #[derive(Clone, Copy)]
 struct Ctx<'a> {
     store: &'a SharedStore,
     params: &'a EcdfParams,
     dim: usize,
     policy: BorderPolicy,
+    snap: Option<&'a StoreSnapshot>,
 }
 
 impl<'a> Ctx<'a> {
     /// Shared read through the store's decoded-node cache: warm
     /// traversals skip `Node::decode` entirely. Byte-level I/O
     /// accounting is unchanged (see `SharedStore::read_node`).
+    ///
+    /// Snapshot contexts decode from the pinned epoch's page image
+    /// instead — the cache only tracks live bytes.
     fn read_shared<V: AggValue>(&self, id: PageId, level: usize) -> Result<Arc<Node<V>>> {
         let dim = self.dim;
-        self.store
-            .read_node(id, |bytes| Node::decode(bytes, dim, level))
+        match self.snap {
+            Some(s) => s.read_node(id, |bytes| Node::decode(bytes, dim, level)),
+            None => self
+                .store
+                .read_node(id, |bytes| Node::decode(bytes, dim, level)),
+        }
     }
 
     /// Owned read for mutation paths: a deep clone of the shared decode
@@ -205,6 +217,7 @@ impl<'a> Ctx<'a> {
     }
 
     fn write<V: AggValue>(&self, id: PageId, level: usize, node: &Node<V>) -> Result<()> {
+        debug_assert!(self.snap.is_none(), "mutating through a snapshot context");
         debug_assert!(node.fits(self.params, self.dim));
         let mut w = ByteWriter::with_capacity(self.params.page_size);
         node.encode(self.dim, level, &mut w);
@@ -691,6 +704,7 @@ impl<V: AggValue> EcdfBTree<V> {
                 params: &params,
                 dim,
                 policy,
+                snap: None,
             };
             ctx.new_leaf::<V>(0)?
         };
@@ -737,6 +751,7 @@ impl<V: AggValue> EcdfBTree<V> {
                 params: &params,
                 dim,
                 policy,
+                snap: None,
             };
             if points.is_empty() {
                 ctx.new_leaf::<V>(0)?
@@ -816,6 +831,26 @@ impl<V: AggValue> EcdfBTree<V> {
         let entry = store
             .root(name)?
             .ok_or_else(|| invalid_arg(format!("no root named {name:?} in the store catalog")))?;
+        Self::open_entry(store, name, entry)
+    }
+
+    /// Reopens a tree published by [`persist_as`](Self::persist_as) *as
+    /// of a pinned snapshot's commit epoch*: the root (and length) come
+    /// from the superblock image that epoch saw. Pair the result with
+    /// [`dominance_sum_at`](Self::dominance_sum_at) on the same
+    /// snapshot to query exactly that commit's tree while writers keep
+    /// committing.
+    pub fn open_named_at(snap: &StoreSnapshot, name: &str) -> Result<Self> {
+        let entry = snap.root(name)?.ok_or_else(|| {
+            invalid_arg(format!(
+                "no root named {name:?} in the store catalog at epoch {}",
+                snap.epoch()
+            ))
+        })?;
+        Self::open_entry(snap.store().clone(), name, entry)
+    }
+
+    fn open_entry(store: SharedStore, name: &str, entry: RootEntry) -> Result<Self> {
         let policy = match entry.kind {
             RootKind::EcdfUpdate => BorderPolicy::UpdateOptimized,
             RootKind::EcdfQuery => BorderPolicy::QueryOptimized,
@@ -856,7 +891,39 @@ impl<V: AggValue> EcdfBTree<V> {
             params: &self.params,
             dim: self.dim,
             policy: self.policy,
+            snap: None,
         }
+    }
+
+    /// A read-only context pinned to `snap`'s commit epoch.
+    fn ctx_at<'a>(&'a self, snap: &'a StoreSnapshot) -> Ctx<'a> {
+        Ctx {
+            store: snap.store(),
+            params: &self.params,
+            dim: self.dim,
+            policy: self.policy,
+            snap: Some(snap),
+        }
+    }
+
+    /// Dominance-sum evaluated against a pinned snapshot: every node
+    /// read resolves to the page image of `snap`'s commit epoch, so a
+    /// concurrent writer — even one mid-commit — cannot perturb the
+    /// answer. The tree handle itself (root page, length) must also
+    /// date from that epoch: open it with
+    /// [`open_named_at`](Self::open_named_at) on the same snapshot.
+    ///
+    /// Takes `&self`: snapshot queries are read-only and touch no tree
+    /// state, so many may run concurrently.
+    pub fn dominance_sum_at(&self, snap: &StoreSnapshot, q: &Point) -> Result<V> {
+        if q.dim() != self.dim {
+            return Err(invalid_arg(format!(
+                "query dimension {} != tree dimension {}",
+                q.dim(),
+                self.dim
+            )));
+        }
+        query_tree(self.ctx_at(snap), 0, self.root, q)
     }
 
     /// Collects every indexed point (tests/diagnostics).
@@ -1262,6 +1329,52 @@ mod tests {
                 let q = Point::from_fn(2, |_| rnd(&mut s));
                 assert_eq!(t.dominance_sum(&q).unwrap(), 0.0, "{policy:?}");
             }
+        }
+    }
+
+    #[test]
+    fn snapshot_queries_are_stable_under_later_commits() {
+        for policy in POLICIES {
+            let store = SharedStore::open(&StoreConfig::small(512, 64).with_wal(true)).unwrap();
+            let mut t: EcdfBTree<f64> = EcdfBTree::create(store.clone(), 2, policy, 8).unwrap();
+            let mut s = 33u64;
+            for _ in 0..200 {
+                t.insert(Point::from_fn(2, |_| rnd(&mut s)), 1.0).unwrap();
+            }
+            t.persist_as("e").unwrap();
+            store.commit().unwrap();
+
+            let snap = store.snapshot().unwrap();
+            let frozen: EcdfBTree<f64> = EcdfBTree::open_named_at(&snap, "e").unwrap();
+            assert_eq!(frozen.len(), 200, "{policy:?}");
+            let q = Point::new(&[0.8, 0.8]);
+            let want = frozen.dominance_sum_at(&snap, &q).unwrap();
+            assert_eq!(t.dominance_sum(&q).unwrap(), want, "{policy:?}");
+
+            // Keep inserting and committing: splits rebuild borders,
+            // freeing and reallocating pages the pinned epoch still
+            // needs.
+            for i in 0..300 {
+                t.insert(Point::from_fn(2, |_| rnd(&mut s)), 1.0).unwrap();
+                if i % 60 == 59 {
+                    t.persist_as("e").unwrap();
+                    store.commit().unwrap();
+                }
+            }
+            t.persist_as("e").unwrap();
+            store.commit().unwrap();
+
+            assert_eq!(
+                frozen.dominance_sum_at(&snap, &q).unwrap(),
+                want,
+                "{policy:?}: snapshot answer moved under later commits"
+            );
+            let refrozen: EcdfBTree<f64> = EcdfBTree::open_named_at(&snap, "e").unwrap();
+            assert_eq!(refrozen.len(), 200, "{policy:?}");
+            assert_eq!(refrozen.dominance_sum_at(&snap, &q).unwrap(), want);
+            assert!(t.dominance_sum(&q).unwrap() > want, "{policy:?}");
+            drop(snap);
+            store.validate().unwrap();
         }
     }
 

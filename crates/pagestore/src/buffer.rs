@@ -17,10 +17,10 @@
 //! to the paper's single-pool accounting regardless of interleaving.
 //!
 //! Every lock is a [`RankedMutex`] (plus one [`RankedRwLock`], the
-//! commit write barrier) in the order `commit < barrier < allocator <
-//! shard < pager` (see [`crate::rank`] for the derivation); debug builds
-//! panic on any out-of-order acquisition, so a lock-order inversion
-//! cannot survive the test suite.
+//! commit write barrier) in the order `commit < barrier < snapshot <
+//! allocator < shard < pager < wal io` (see [`crate::rank`] for the
+//! derivation); debug builds panic on any out-of-order acquisition, so
+//! a lock-order inversion cannot survive the test suite.
 //!
 //! The barrier makes a WAL commit's dirty-frame snapshot a point-in-time
 //! cut: [`BufferPool::write_page`] and [`BufferPool::free_page`] hold it
@@ -30,6 +30,26 @@
 //! is only commit-atomic if no commit runs between the calls — callers
 //! that commit concurrently with multi-page writers must quiesce them
 //! first (every current caller commits from the writing thread).
+//!
+//! ## Commit epochs and snapshot reads
+//!
+//! A WAL pool numbers its committed states with a monotonically
+//! increasing *commit epoch*. Readers may pin the current epoch
+//! ([`BufferPool::pin_snapshot`]) and then read pages *as of* that
+//! epoch through [`BufferPool::with_page_at`], lock-free with respect
+//! to commits: a committer prepares the next epoch (logs and syncs the
+//! transaction through a dedicated WAL handle, without the pager lock)
+//! while pinned readers keep observing the previous one. The flip to
+//! the new epoch happens under the exclusive barrier — the only moment
+//! a snapshot reader and a committer exclude each other — and retains
+//! the superseded page images for every still-pinned older epoch, so a
+//! reader never observes a half-applied transaction.
+//!
+//! Commits themselves *group*: concurrent committers collapse into one
+//! WAL append run and one log sync. Each committer notes the global
+//! mutation stamp it must see durable; whoever wins the commit lock
+//! commits everything staged so far, and the others return without
+//! issuing any I/O once they observe their stamp covered.
 //!
 //! With one shard (the default, [`BufferPool::new`]) the pool degenerates
 //! to exactly the paper's single global LRU: eviction order, and hence
@@ -50,7 +70,7 @@
 //! reservation is unconditional, so fan-out, page counts and byte-level
 //! I/O accounting are identical with verification on or off.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use boxagg_common::error::{corrupt, invalid_arg, Error, Result};
@@ -58,7 +78,7 @@ use boxagg_common::error::{corrupt, invalid_arg, Error, Result};
 use crate::checksum;
 use crate::pager::{PageId, Pager};
 use crate::rank::{self, RankedMutex, RankedRwLock};
-use crate::wal;
+use crate::wal::{self, WalFile};
 
 /// Cumulative I/O statistics of a [`BufferPool`].
 ///
@@ -91,6 +111,16 @@ pub struct IoStats {
     pub wal_syncs: u64,
     /// Page images replayed from the log by recovery at open.
     pub wal_replays: u64,
+    /// Data-file syncs issued by the pool: the durability sync of an
+    /// empty commit, the apply-phase sync of a WAL commit, the final
+    /// sync of a flush. Accounted separately from `total()` like the
+    /// `wal_*` counters — the §6 I/O counts must not move.
+    pub syncs: u64,
+    /// High-water mark of simultaneously dirty (uncommitted, pinned)
+    /// frames since the last [`reset_stats`](BufferPool::reset_stats) —
+    /// the no-steal pool's memory obligation. Only maintained by WAL
+    /// pools; zero otherwise.
+    pub dirty_high_water: u64,
 }
 
 impl IoStats {
@@ -117,6 +147,10 @@ impl IoStats {
             wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
             wal_syncs: self.wal_syncs.saturating_sub(earlier.wal_syncs),
             wal_replays: self.wal_replays.saturating_sub(earlier.wal_replays),
+            syncs: self.syncs.saturating_sub(earlier.syncs),
+            dirty_high_water: self
+                .dirty_high_water
+                .saturating_sub(earlier.dirty_high_water),
         }
     }
 }
@@ -128,6 +162,22 @@ struct Frame {
     id: PageId,
     data: Box<[u8]>,
     dirty: bool,
+    /// Global mutation stamp of the last `write_page` into this frame
+    /// (from the pool-wide counter, so it is unique across the pool's
+    /// lifetime). A commit captures the stamp alongside the image and
+    /// un-dirties the frame only if the stamp still matches — a page
+    /// freed and re-allocated mid-commit gets a fresh stamp and can
+    /// never be mistaken for the captured incarnation, even if its
+    /// bytes happen to coincide.
+    seq: u64,
+    /// The page's committed image, retained while the frame is dirty
+    /// so snapshot readers (and epoch-flip retention) can serve the
+    /// pre-transaction bytes without touching disk. Invariants:
+    /// `base.is_some()` implies `dirty`; a dirty frame with no base
+    /// has never been committed from the buffer — its committed image
+    /// (if any) is on disk, where no-steal guarantees it stays until
+    /// the next commit applies over it.
+    base: Option<Box<[u8]>>,
     prev: usize,
     next: usize,
 }
@@ -193,12 +243,19 @@ impl Shard {
     }
 
     /// Drops the frame caching `id`, if any, without a write-back.
-    fn drop_frame(&mut self, id: PageId) {
+    /// Returns whether the dropped frame was dirty (the caller owns the
+    /// pool-wide dirty-frame counter).
+    fn drop_frame(&mut self, id: PageId) -> bool {
         if let Some(idx) = self.map.remove(&id) {
             self.detach(idx);
+            let was_dirty = self.frames[idx].dirty;
             self.frames[idx].dirty = false;
+            self.frames[idx].base = None;
             self.frames[idx].id = PageId::NULL;
             self.free.push(idx);
+            was_dirty
+        } else {
+            false
         }
     }
 }
@@ -236,12 +293,91 @@ pub struct BufferPool {
     /// across all shards rather than a shard-by-shard crawl a concurrent
     /// writer could race through.
     barrier: RankedRwLock<()>,
+    /// Dedicated write-ahead-log handle split off the pager at
+    /// construction (rank [`WAL_IO`](rank::WAL_IO), *above* the pager):
+    /// commit's log I/O — including the fsync at the atomicity point —
+    /// runs through it without holding the pager lock, so reads proceed
+    /// while a committer waits on the log. `None` when the pager cannot
+    /// split (commits then fall back to the pager-lock route).
+    wal_io: Option<RankedMutex<Box<dyn WalFile>>>,
+    /// Commit-epoch state (rank [`SNAPSHOT`](rank::SNAPSHOT)): the
+    /// current epoch, reader pins, and superseded page images retained
+    /// for pinned epochs. The epoch lives *inside* the lock so pinning
+    /// and the commit flip serialize — a pin can never capture an epoch
+    /// whose retention pass already ran.
+    snapshots: RankedMutex<SnapshotTable>,
+    /// Pool-wide mutation stamp source (see [`Frame::seq`]).
+    seq: AtomicU64,
+    /// Highest mutation stamp covered by a durable commit: every write
+    /// stamped at or below it has reached the synced log (or the synced
+    /// data file). Group-commit followers compare their entry stamp
+    /// against this to detect that a leader already committed for them.
+    synced_seq: AtomicU64,
+    /// Count of successful commits (empty ones included) — the
+    /// second half of the group-commit follower test, distinguishing
+    /// "a leader committed while we waited" from "nothing happened".
+    commits_done: AtomicU64,
+    /// Currently dirty frames across all shards (WAL pools only).
+    dirty_frames: AtomicU64,
+    /// High-water mark of `dirty_frames` since the last stats reset.
+    dirty_high_water: AtomicU64,
+    /// Dirty-frame ceiling for backpressure; 0 disables it.
+    dirty_ceiling: AtomicU64,
     reads: AtomicU64,
     writes: AtomicU64,
     hits: AtomicU64,
     wal_appends: AtomicU64,
     wal_syncs: AtomicU64,
     wal_replays: AtomicU64,
+    syncs: AtomicU64,
+}
+
+/// One retained committed page image, superseded when epoch
+/// `superseded_at` was created: it is the image readers pinned at any
+/// epoch `< superseded_at` must see.
+#[derive(Debug)]
+struct PageVersion {
+    superseded_at: u64,
+    data: Box<[u8]>,
+}
+
+/// Commit-epoch bookkeeping behind the pool's snapshot lock.
+#[derive(Debug)]
+struct SnapshotTable {
+    /// The current commit epoch. Epoch 1 is the store's opening state;
+    /// every non-empty commit creates the next one.
+    epoch: u64,
+    /// Pinned epoch → pin count. Readers pin before traversing and
+    /// unpin when done; retention at the flip consults this map.
+    pins: BTreeMap<u64, usize>,
+    /// Superseded images per page, each list ascending in
+    /// `superseded_at`. Only populated while older epochs stay pinned;
+    /// garbage-collected as pins drain.
+    versions: HashMap<PageId, Vec<PageVersion>>,
+}
+
+/// Adapts the pager's own `wal_*` methods to the [`WalFile`] interface
+/// — the commit path's fallback log route for pagers that cannot split
+/// a dedicated handle. The pager lock is held for the duration (the
+/// pre-split behavior).
+struct PagerWal<'a>(&'a mut dyn Pager);
+
+impl WalFile for PagerWal<'_> {
+    fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.0.wal_append(bytes)
+    }
+    fn sync(&mut self) -> Result<()> {
+        self.0.wal_sync()
+    }
+    fn len(&mut self) -> Result<u64> {
+        self.0.wal_len()
+    }
+    fn rollback(&mut self, len: u64) -> Result<()> {
+        self.0.wal_rollback(len)
+    }
+    fn truncate(&mut self) -> Result<()> {
+        self.0.wal_truncate()
+    }
 }
 
 #[derive(Debug, Default)]
@@ -307,6 +443,7 @@ impl BufferPool {
         wal: bool,
     ) -> Self {
         assert!(capacity >= 1, "buffer pool needs at least one frame");
+        let mut pager = pager;
         let n = shards.max(1).next_power_of_two();
         let page_size = pager.page_size();
         assert!(
@@ -322,6 +459,15 @@ impl BufferPool {
                 RankedMutex::new(rank::SHARD, "buffer shard", Shard::new(cap))
             })
             .collect();
+        // Only WAL pools log; splitting the handle off a non-WAL pager
+        // would tie up resources the pool will never use.
+        let wal_io = if wal {
+            pager
+                .split_wal()
+                .map(|h| RankedMutex::new(rank::WAL_IO, "wal io", h))
+        } else {
+            None
+        };
         Self {
             pager: RankedMutex::new(rank::PAGER, "pager", pager),
             page_size,
@@ -335,12 +481,29 @@ impl BufferPool {
             wal,
             commit_lock: RankedMutex::new(rank::WAL, "commit", ()),
             barrier: RankedRwLock::new(rank::BARRIER, "write barrier", ()),
+            wal_io,
+            snapshots: RankedMutex::new(
+                rank::SNAPSHOT,
+                "snapshot table",
+                SnapshotTable {
+                    epoch: 1,
+                    pins: BTreeMap::new(),
+                    versions: HashMap::new(),
+                },
+            ),
+            seq: AtomicU64::new(0),
+            synced_seq: AtomicU64::new(0),
+            commits_done: AtomicU64::new(0),
+            dirty_frames: AtomicU64::new(0),
+            dirty_high_water: AtomicU64::new(0),
+            dirty_ceiling: AtomicU64::new(0),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             wal_appends: AtomicU64::new(0),
             wal_syncs: AtomicU64::new(0),
             wal_replays: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
         }
     }
 
@@ -404,6 +567,8 @@ impl BufferPool {
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
             wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
             wal_replays: self.wal_replays.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
+            dirty_high_water: self.dirty_high_water.load(Ordering::Relaxed),
             ..IoStats::default()
         }
     }
@@ -417,6 +582,27 @@ impl BufferPool {
         self.wal_appends.store(0, Ordering::Relaxed);
         self.wal_syncs.store(0, Ordering::Relaxed);
         self.wal_replays.store(0, Ordering::Relaxed);
+        self.syncs.store(0, Ordering::Relaxed);
+        // The high-water mark restarts from the *current* obligation,
+        // not zero — frames dirty right now are still pinned.
+        self.dirty_high_water
+            .store(self.dirty_frames.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Currently dirty (uncommitted, memory-pinned) frames. Always zero
+    /// on non-WAL pools, whose dirty pages are evictable and unpinned.
+    pub fn dirty_pages(&self) -> u64 {
+        self.dirty_frames.load(Ordering::Relaxed)
+    }
+
+    /// Sets the dirty-frame ceiling: once this many frames are dirty,
+    /// further dirtying writes fail with
+    /// [`Error::Backpressure`](boxagg_common::error::Error::Backpressure)
+    /// until a commit releases them. `0` (the default) disables the
+    /// ceiling. The bound is soft by a racing write or two — it guards
+    /// memory, not an exact invariant.
+    pub fn set_dirty_ceiling(&self, ceiling: u64) {
+        self.dirty_ceiling.store(ceiling, Ordering::Relaxed);
     }
 
     /// Allocates a page, reusing a previously freed one when available.
@@ -451,7 +637,10 @@ impl BufferPool {
         alloc.free_pages.push(id);
         // Hold the alloc lock while dropping the cached frame so a
         // concurrent re-allocation cannot observe the stale frame.
-        self.shard_for(id).acquire().drop_frame(id);
+        let was_dirty = self.shard_for(id).acquire().drop_frame(id);
+        if self.wal && was_dirty {
+            self.dirty_frames.fetch_sub(1, Ordering::Relaxed);
+        }
         Ok(())
     }
 
@@ -541,6 +730,8 @@ impl BufferPool {
                     id: PageId::NULL,
                     data: vec![0u8; self.page_size].into_boxed_slice(),
                     dirty: false,
+                    seq: 0,
+                    base: None,
                     prev: NIL,
                     next: NIL,
                 });
@@ -578,6 +769,8 @@ impl BufferPool {
         }
         shard.frames[idx].id = id;
         shard.frames[idx].dirty = false;
+        shard.frames[idx].seq = 0;
+        shard.frames[idx].base = None;
         shard.map.insert(id, idx);
         shard.push_front(idx);
         Ok(idx)
@@ -614,6 +807,42 @@ impl BufferPool {
         // dirty-frame snapshot can never capture this mutation half-done.
         let _writer = self.barrier.acquire_shared();
         let mut shard = self.shard_for(id).acquire();
+        if self.wal {
+            // Peek residency *before* installing a frame: a rejected
+            // write must leave no trace — in particular no zero-filled
+            // clean frame a later read could mistake for page content.
+            let resident = shard.map.get(&id).copied();
+            let newly_dirty = match resident {
+                Some(idx) => !shard.frames[idx].dirty,
+                None => true,
+            };
+            if newly_dirty {
+                let ceiling = self.dirty_ceiling.load(Ordering::Relaxed);
+                if ceiling != 0 {
+                    let dirty = self.dirty_frames.load(Ordering::Relaxed);
+                    if dirty >= ceiling {
+                        return Err(Error::Backpressure { dirty, ceiling });
+                    }
+                }
+            }
+            let idx = self.frame_for(&mut shard, id, false)?;
+            let f = &mut shard.frames[idx];
+            if newly_dirty {
+                // A resident clean frame holds the committed image —
+                // keep it as the base for snapshot readers. A miss
+                // means the committed image (if any) is on disk.
+                f.base = resident.map(|_| f.data.clone());
+            }
+            f.data[..bytes.len()].copy_from_slice(bytes);
+            f.data[bytes.len()..].fill(0);
+            f.dirty = true;
+            f.seq = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
+            if newly_dirty {
+                let dirty = self.dirty_frames.fetch_add(1, Ordering::Relaxed) + 1;
+                self.dirty_high_water.fetch_max(dirty, Ordering::Relaxed);
+            }
+            return Ok(());
+        }
         let idx = self.frame_for(&mut shard, id, false)?;
         let data = &mut shard.frames[idx].data;
         data[..bytes.len()].copy_from_slice(bytes);
@@ -635,105 +864,353 @@ impl BufferPool {
     /// sync the partial transaction has no commit record and is
     /// discarded; after it, recovery replays the full physical images.
     ///
-    /// A frame's dirty bit is cleared only if its bytes still equal the
-    /// committed image (a concurrent writer may have moved on — its
-    /// update then belongs to the *next* commit). Errors leave every
-    /// dirty bit set, so a failed commit can simply be retried: a
+    /// A frame's dirty bit is cleared only if its mutation stamp still
+    /// matches the captured one (a concurrent writer may have moved on
+    /// — its update then belongs to the *next* commit). Errors leave
+    /// every dirty bit set, so a failed commit can simply be retried: a
     /// transaction that failed while being *logged* is rolled back out
     /// of the log (so the retry's `begin` never lands inside the torn
     /// one), while a transaction that failed while being *applied*
     /// stays in the log, committed, for recovery or the retry to finish.
+    ///
+    /// Concurrent commits *group*: whoever wins the commit lock logs
+    /// everything dirty at that moment in a single log append run with
+    /// a single log sync; the committers that waited behind it return
+    /// without I/O once they observe a commit completed that covers
+    /// every write staged before they arrived.
+    ///
+    /// Readers are never blocked: the pager lock is not held across the
+    /// log fsync (log I/O runs through the dedicated WAL handle when
+    /// the pager provides one), and pinned snapshot readers keep
+    /// observing the previous epoch throughout — the flip to the new
+    /// epoch is the commit's only barrier-exclusive section after the
+    /// dirty-frame capture.
     pub fn commit(&self) -> Result<()> {
         if !self.wal {
             return self.flush_all_inner();
         }
+        // Group commit, follower side: note what must be durable for
+        // *this* call — every mutation staged so far — and whether any
+        // commit completes while we wait for the lock.
+        let my_target = self.seq.load(Ordering::SeqCst);
+        let done0 = self.commits_done.load(Ordering::SeqCst);
         let _commit = self.commit_lock.acquire();
-        // Snapshot every dirty frame's physical image, trailer stamped.
-        // The exclusive barrier blocks writers across the whole scan, so
-        // the transaction is a point-in-time cut over all shards; it is
-        // released before the I/O below — a writer changing a page after
-        // its image was captured just stays dirty for the next commit.
-        let mut txn: Vec<(PageId, Box<[u8]>)> = Vec::new();
+        if self.commits_done.load(Ordering::SeqCst) != done0
+            && self.synced_seq.load(Ordering::SeqCst) >= my_target
+        {
+            // A leader committed (and synced) while we queued, and its
+            // capture covered every write we are responsible for: our
+            // commit already happened. A *failed* leader updates
+            // neither counter, so its followers retry as leaders.
+            return Ok(());
+        }
+        // Phase A — capture: snapshot every dirty frame's physical
+        // image (trailer stamped) and mutation stamp. The exclusive
+        // barrier blocks writers across the whole scan, so the
+        // transaction is a point-in-time cut over all shards; it is
+        // released before the I/O below — a writer changing a page
+        // after its image was captured just stays dirty for the next
+        // commit.
+        let mut txn: Vec<(PageId, u64, Box<[u8]>)> = Vec::new();
+        let capture_seq;
         {
             let _quiesced = self.barrier.acquire_excl();
+            // Exact cut: no writer is concurrent with this load.
+            capture_seq = self.seq.load(Ordering::SeqCst);
             for shard in self.shards.iter() {
                 let mut shard = shard.acquire();
                 for idx in 0..shard.frames.len() {
                     let f = &mut shard.frames[idx];
                     if f.dirty && !f.id.is_null() {
                         checksum::stamp(&mut f.data, self.zero_mask);
-                        txn.push((f.id, f.data.clone()));
+                        txn.push((f.id, f.seq, f.data.clone()));
                     }
                 }
             }
         }
-        txn.sort_by_key(|&(id, _)| id);
-        {
-            let mut pager = self.pager.acquire();
-            if txn.is_empty() {
-                // Nothing to log; still honor "commit means durable".
-                return pager.sync();
-            }
-            // 1. Log the whole transaction, then sync the log: the
-            //    commit record hitting stable storage is the atomicity
-            //    point. On failure, roll the log back to its pre-txn
-            //    length — the log may legitimately hold earlier
-            //    *committed* transactions (a commit whose apply phase
-            //    failed leaves its txn for recovery), but an
-            //    *incomplete* tail must not survive into the retry, or
-            //    the retry's `begin` would land inside the open
-            //    transaction and recovery would report `WalCorrupt`.
-            let pre_txn_len = pager.wal_len()?;
-            if let Err(e) = self.log_txn(pager.as_mut(), &txn) {
+        txn.sort_by_key(|&(id, _, _)| id);
+        if txn.is_empty() {
+            // Nothing to log; still honor "commit means durable".
+            self.pager.acquire().sync()?;
+            self.syncs.fetch_add(1, Ordering::Relaxed);
+            self.finish_commit(capture_seq);
+            return Ok(());
+        }
+        // Phase B — log: append the whole transaction and sync the
+        // log; the commit record hitting stable storage is the
+        // atomicity point. This runs through the WAL route — the
+        // split-off handle when the pager provides one — so the pager
+        // lock is NOT held across the log fsync and readers proceed
+        // meanwhile. On failure, roll the log back to its pre-txn
+        // length — the log may legitimately hold earlier *committed*
+        // transactions (a commit whose apply phase failed leaves its
+        // txn for recovery), but an *incomplete* tail must not survive
+        // into the retry, or the retry's `begin` would land inside the
+        // open transaction and recovery would report `WalCorrupt`.
+        self.with_wal(|w| {
+            let pre_txn_len = w.len()?;
+            if let Err(e) = Self::log_records(w, &txn) {
                 // lint: allow(discarded-result) -- best-effort rollback; the log error is what the caller must see
-                let _ = pager.wal_rollback(pre_txn_len);
+                let _ = w.rollback(pre_txn_len);
                 return Err(e);
             }
-            // 2. Write the same images in place and sync the data file.
-            for (id, image) in &txn {
+            Ok(())
+        })?;
+        self.wal_appends
+            .fetch_add(txn.len() as u64 + 2, Ordering::Relaxed);
+        self.wal_syncs.fetch_add(1, Ordering::Relaxed);
+        // Phase C — flip: publish the new commit epoch, retaining the
+        // superseded images for pinned readers. From here on the
+        // transaction is visible (and durable); followers may return.
+        self.flip_epoch(capture_seq, &txn)?;
+        // Phase D — apply: write the same images in place and sync the
+        // data file.
+        {
+            let mut pager = self.pager.acquire();
+            for (id, _, image) in &txn {
                 pager.write_page(*id, image)?;
                 self.writes.fetch_add(1, Ordering::Relaxed);
             }
             pager.sync()?;
-            // 3. The transaction is fully applied: drop the log.
-            pager.wal_truncate()?;
-            pager.wal_sync()?;
-            self.wal_syncs.fetch_add(1, Ordering::Relaxed);
         }
-        // 4. Un-dirty exactly the frames whose bytes we committed.
-        let committed: HashMap<PageId, &[u8]> = txn.iter().map(|(id, d)| (*id, &d[..])).collect();
-        for shard in self.shards.iter() {
-            let mut shard = shard.acquire();
-            for idx in 0..shard.frames.len() {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        // Phase E — the transaction is fully applied: drop the log.
+        self.with_wal(|w| {
+            w.truncate()?;
+            w.sync()
+        })?;
+        self.wal_syncs.fetch_add(1, Ordering::Relaxed);
+        // Phase F — un-dirty exactly the frame incarnations we
+        // captured: stamp equality, not byte equality, so a page freed
+        // and re-allocated mid-commit (whose bytes may coincide with
+        // the captured image) stays dirty for the next commit.
+        let mut undirtied = 0u64;
+        for (id, cap_seq, _) in &txn {
+            let mut shard = self.shard_for(*id).acquire();
+            if let Some(&idx) = shard.map.get(id) {
                 let f = &mut shard.frames[idx];
-                if f.dirty && !f.id.is_null() {
-                    if let Some(&image) = committed.get(&f.id) {
-                        if image == &f.data[..] {
-                            f.dirty = false;
-                        }
-                    }
+                if f.dirty && f.seq == *cap_seq {
+                    f.dirty = false;
+                    f.base = None;
+                    undirtied += 1;
                 }
             }
         }
+        self.dirty_frames.fetch_sub(undirtied, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Step 1 of the commit protocol: appends `begin` + every page
-    /// image + `commit` to the log and syncs it. On `Ok(())` the
-    /// transaction is durably committed; on error the caller rolls the
-    /// log back to its pre-transaction length.
-    fn log_txn(&self, pager: &mut dyn Pager, txn: &[(PageId, Box<[u8]>)]) -> Result<()> {
-        pager.wal_append(&wal::encode_begin(txn.len() as u32))?;
-        self.wal_appends.fetch_add(1, Ordering::Relaxed);
-        for (id, image) in txn {
-            pager.wal_append(&wal::encode_page(*id, image))?;
-            self.wal_appends.fetch_add(1, Ordering::Relaxed);
+    /// Runs `f` over the write-ahead-log route: the dedicated handle
+    /// split off the pager when available (log I/O then never touches
+    /// the pager lock), the pager itself otherwise.
+    fn with_wal<R>(&self, f: impl FnOnce(&mut dyn WalFile) -> Result<R>) -> Result<R> {
+        match &self.wal_io {
+            Some(h) => f(&mut **h.acquire()),
+            None => {
+                let mut pager = self.pager.acquire();
+                let mut adapter = PagerWal(pager.as_mut());
+                f(&mut adapter)
+            }
         }
-        pager.wal_append(&wal::encode_commit())?;
-        self.wal_appends.fetch_add(1, Ordering::Relaxed);
-        pager.wal_sync()?;
-        self.wal_syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Appends `begin` + every page image + `commit` to the log and
+    /// syncs it. On `Ok(())` the transaction is durably committed; on
+    /// error the caller rolls the log back to its pre-transaction
+    /// length. The caller owns the statistics.
+    fn log_records(w: &mut dyn WalFile, txn: &[(PageId, u64, Box<[u8]>)]) -> Result<()> {
+        w.append(&wal::encode_begin(txn.len() as u32))?;
+        for (id, _, image) in txn {
+            w.append(&wal::encode_page(*id, image))?;
+        }
+        w.append(&wal::encode_commit())?;
+        w.sync()
+    }
+
+    /// Phase C of the commit protocol: under the exclusive barrier,
+    /// retain the superseded image of every transaction page for
+    /// still-pinned older epochs, bump the commit epoch, and re-base
+    /// the dirty frames onto the just-committed images so new-epoch
+    /// readers see committed bytes from the buffer before the apply
+    /// phase reaches disk. The only fallible step (reading a pre-image
+    /// off disk) runs before any state changes, so an error leaves the
+    /// epoch — and every frame — untouched for the retry.
+    fn flip_epoch(&self, capture_seq: u64, txn: &[(PageId, u64, Box<[u8]>)]) -> Result<()> {
+        let _quiesced = self.barrier.acquire_excl();
+        let mut snaps = self.snapshots.acquire();
+        let old_epoch = snaps.epoch;
+        let mut retained: Vec<(PageId, Box<[u8]>)> = Vec::new();
+        if snaps.pins.range(..=old_epoch).next().is_some() {
+            for (id, _, _) in txn {
+                retained.push((*id, self.pre_image(*id)?));
+            }
+        }
+        snaps.epoch = old_epoch + 1;
+        let superseded_at = snaps.epoch;
+        for (id, image) in retained {
+            snaps.versions.entry(id).or_default().push(PageVersion {
+                superseded_at,
+                data: image,
+            });
+        }
+        drop(snaps);
+        for (id, _, image) in txn {
+            let mut shard = self.shard_for(*id).acquire();
+            if let Some(&idx) = shard.map.get(id) {
+                let f = &mut shard.frames[idx];
+                if f.dirty {
+                    // `image` is the committed bytes of this page as
+                    // of the new epoch — even if the frame is a fresh
+                    // incarnation (freed and re-allocated mid-commit),
+                    // the base is keyed by page id, not incarnation.
+                    f.base = Some(image.clone());
+                }
+            }
+        }
+        self.finish_commit(capture_seq);
         Ok(())
+    }
+
+    /// The committed image of page `id` as of the *current* (pre-flip)
+    /// epoch: a dirty frame's base, a clean frame's bytes, or — for a
+    /// dirty frame that was never committed from the buffer, and for
+    /// pages whose frame is gone — the on-disk image, which no-steal
+    /// guarantees is still the pre-transaction one at flip time.
+    fn pre_image(&self, id: PageId) -> Result<Box<[u8]>> {
+        {
+            let shard = self.shard_for(id).acquire();
+            if let Some(&idx) = shard.map.get(&id) {
+                let f = &shard.frames[idx];
+                if let Some(base) = &f.base {
+                    return Ok(base.clone());
+                }
+                if !f.dirty {
+                    return Ok(f.data.clone());
+                }
+            }
+        }
+        let mut buf = vec![0u8; self.page_size].into_boxed_slice();
+        self.pager.acquire().read_page(id, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Publishes a successful commit to group-commit followers: every
+    /// mutation stamped at or below `capture_seq` is durable, and one
+    /// more commit completed.
+    fn finish_commit(&self, capture_seq: u64) {
+        self.synced_seq.fetch_max(capture_seq, Ordering::SeqCst);
+        self.commits_done.fetch_add(1, Ordering::SeqCst);
+    }
+
+    // -- commit epochs and snapshot reads --------------------------------
+
+    /// The current commit epoch (1 before the first non-empty commit;
+    /// each non-empty commit creates the next).
+    pub fn commit_epoch(&self) -> u64 {
+        self.snapshots.acquire().epoch
+    }
+
+    /// Pins the current commit epoch and returns it. Until the matching
+    /// [`unpin_snapshot`](Self::unpin_snapshot), reads through
+    /// [`with_page_at`](Self::with_page_at) at the returned epoch keep
+    /// observing exactly the state this commit epoch froze — commits
+    /// proceed concurrently, retaining the superseded images. Pins
+    /// nest; each pin must be unpinned exactly once.
+    pub fn pin_snapshot(&self) -> u64 {
+        let mut snaps = self.snapshots.acquire();
+        let epoch = snaps.epoch;
+        *snaps.pins.entry(epoch).or_insert(0) += 1;
+        epoch
+    }
+
+    /// Releases one pin on `epoch` and garbage-collects any retained
+    /// page images no remaining pin can reach. Unpinning an epoch that
+    /// was never pinned is a no-op.
+    pub fn unpin_snapshot(&self, epoch: u64) {
+        let mut snaps = self.snapshots.acquire();
+        let drained = match snaps.pins.get_mut(&epoch) {
+            Some(n) => {
+                *n -= 1;
+                *n == 0
+            }
+            None => false,
+        };
+        if !drained {
+            return;
+        }
+        snaps.pins.remove(&epoch);
+        // A version superseded at S serves pins strictly below S; keep
+        // it only while such a pin remains.
+        match snaps.pins.keys().next().copied() {
+            None => snaps.versions.clear(),
+            Some(min_pin) => {
+                snaps.versions.retain(|_, vs| {
+                    vs.retain(|v| v.superseded_at > min_pin);
+                    !vs.is_empty()
+                });
+            }
+        }
+    }
+
+    /// Runs `f` over the payload of page `id` *as of* commit `epoch`
+    /// (which the caller pinned via [`pin_snapshot`](Self::pin_snapshot)).
+    ///
+    /// Never blocks on a concurrent commit's log or data fsync: the
+    /// read holds the shared side of the write barrier (excluding only
+    /// the capture and flip sections) and serves, in order: a retained
+    /// superseded image, a dirty frame's committed base, a clean
+    /// frame's bytes, or the on-disk image. Uncommitted bytes are never
+    /// observable through this method.
+    ///
+    /// Like [`with_page`](Self::with_page), `f` runs under pool locks
+    /// and must not re-enter the pool.
+    pub fn with_page_at<T>(&self, id: PageId, epoch: u64, f: impl FnOnce(&[u8]) -> T) -> Result<T> {
+        let _reader = self.barrier.acquire_shared();
+        {
+            let snaps = self.snapshots.acquire();
+            if let Some(versions) = snaps.versions.get(&id) {
+                // Lists ascend in `superseded_at`: the first version
+                // superseded *after* our epoch is the image our epoch
+                // saw.
+                if let Some(v) = versions.iter().find(|v| v.superseded_at > epoch) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(f(&v.data[..self.payload]));
+                }
+            }
+        }
+        // Not superseded since `epoch`: the page's committed image is
+        // current, and no flip can interleave while we hold the shared
+        // barrier.
+        let mut shard = self.shard_for(id).acquire();
+        if let Some(&idx) = shard.map.get(&id) {
+            if shard.frames[idx].dirty {
+                if let Some(base) = &shard.frames[idx].base {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(f(&base[..self.payload]));
+                }
+                // Dirty with no base: the committed image lives on
+                // disk (no-steal). Read it without disturbing the
+                // uncommitted frame.
+                let mut buf = vec![0u8; self.page_size].into_boxed_slice();
+                self.pager.acquire().read_page(id, &mut buf)?;
+                if self.checksums {
+                    if let Err((stored, computed)) = checksum::verify(&buf, self.zero_mask) {
+                        return Err(Error::Corruption {
+                            page: id.0,
+                            expected: stored,
+                            found: computed,
+                        });
+                    }
+                }
+                self.reads.fetch_add(1, Ordering::Relaxed);
+                return Ok(f(&buf[..self.payload]));
+            }
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            shard.touch(idx);
+            return Ok(f(&shard.frames[idx].data[..self.payload]));
+        }
+        let idx = self.frame_for(&mut shard, id, true)?;
+        Ok(f(&shard.frames[idx].data[..self.payload]))
     }
 
     /// Writes every dirty page back to the pager, then syncs it.
@@ -768,6 +1245,9 @@ impl BufferPool {
             }
         }
         let sync_res = self.pager.acquire().sync();
+        if sync_res.is_ok() {
+            self.syncs.fetch_add(1, Ordering::Relaxed);
+        }
         match first_err {
             Some(e) => Err(e),
             None => sync_res,
@@ -785,8 +1265,45 @@ impl BufferPool {
     /// exactly the mapped frames, every frame is either mapped or on the
     /// shard's free list (none leaked), free frames are truly reset, and
     /// occupancy respects capacity. Also checks the allocator's free
-    /// list against its double-free set.
+    /// list against its double-free set, and — on a WAL pool — the
+    /// dirty-frame counter and the snapshot table's invariants.
     pub fn validate(&self) -> Result<()> {
+        // Quiesce writers on a WAL pool so the dirty count is exact.
+        let _quiesced = if self.wal {
+            Some(self.barrier.acquire_excl())
+        } else {
+            None
+        };
+        if self.wal {
+            let snaps = self.snapshots.acquire();
+            if snaps.epoch == 0 {
+                return Err(corrupt("snapshot table: epoch zero".to_string()));
+            }
+            if snaps.pins.is_empty() && !snaps.versions.is_empty() {
+                return Err(corrupt(
+                    "snapshot table: retained versions with no pins".to_string(),
+                ));
+            }
+            for (id, vs) in snaps.versions.iter() {
+                if vs.is_empty() {
+                    return Err(corrupt(format!("snapshot table: empty list for {id:?}")));
+                }
+                if vs
+                    .windows(2)
+                    .any(|w| w[0].superseded_at >= w[1].superseded_at)
+                {
+                    return Err(corrupt(format!(
+                        "snapshot table: versions of {id:?} not ascending"
+                    )));
+                }
+                if vs.iter().any(|v| v.superseded_at > snaps.epoch) {
+                    return Err(corrupt(format!(
+                        "snapshot table: version of {id:?} from the future"
+                    )));
+                }
+            }
+        }
+        let mut dirty_seen = 0u64;
         for (si, shard) in self.shards.iter().enumerate() {
             let shard = shard.acquire();
             let fail = |msg: &str| Err(corrupt(format!("pool shard {si}: {msg}")));
@@ -803,6 +1320,12 @@ impl BufferPool {
                 }
                 if shard.map.get(&f.id) != Some(&idx) {
                     return fail("linked frame not mapped to itself");
+                }
+                if f.base.is_some() && !f.dirty {
+                    return fail("clean frame retains a committed base");
+                }
+                if f.dirty {
+                    dirty_seen += 1;
                 }
                 linked += 1;
                 if linked > shard.frames.len() {
@@ -828,13 +1351,23 @@ impl BufferPool {
                 if !free_set.insert(i) {
                     return fail("frame on the free list twice");
                 }
-                if !shard.frames[i].id.is_null() || shard.frames[i].dirty {
+                if !shard.frames[i].id.is_null()
+                    || shard.frames[i].dirty
+                    || shard.frames[i].base.is_some()
+                {
                     return fail("free frame not reset");
                 }
             }
             if linked + shard.free.len() != shard.frames.len() {
                 return fail("frame leaked (neither mapped nor free)");
             }
+        }
+        if self.wal && dirty_seen != self.dirty_frames.load(Ordering::Relaxed) {
+            return Err(corrupt(format!(
+                "dirty-frame counter {} disagrees with {} dirty frames",
+                self.dirty_frames.load(Ordering::Relaxed),
+                dirty_seen
+            )));
         }
         let alloc = self.alloc.acquire();
         if alloc.free_pages.len() != alloc.freed.len()
@@ -1440,6 +1973,341 @@ mod tests {
         let c = faults.counts();
         assert_eq!(c.wal_appends, 3, "flush on a WAL pool is a commit");
         assert_eq!(c.writes, 1);
+    }
+
+    /// Satellite regression: a dirtying write at the ceiling must fail
+    /// typed, leave no trace, and clear after a commit.
+    #[test]
+    fn backpressure_rejects_dirtying_writes_at_the_ceiling() {
+        let (p, _faults) = wal_pool(8);
+        p.set_dirty_ceiling(2);
+        let a = page_with(&p, 1);
+        let b = page_with(&p, 2);
+        assert_eq!(p.dirty_pages(), 2);
+        let c = p.allocate().unwrap();
+        let err = p.write_page(c, &[3; 4]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::Backpressure {
+                    dirty: 2,
+                    ceiling: 2
+                }
+            ),
+            "got: {err}"
+        );
+        // The rejected write left no trace — in particular no
+        // zero-filled frame a later read could mistake for content.
+        p.validate().unwrap();
+        assert_eq!(p.resident(), 2);
+        // Re-dirtying an already-dirty page consumes no new frame and
+        // is still allowed at the ceiling.
+        p.write_page(a, &[9; 4]).unwrap();
+        assert_eq!(p.dirty_pages(), 2);
+        // Commit releases the obligation; the failed write retries.
+        p.commit().unwrap();
+        assert_eq!(p.dirty_pages(), 0);
+        p.write_page(c, &[3; 4]).unwrap();
+        assert_eq!(p.with_page(c, |d| d[0]).unwrap(), 3);
+        assert_eq!(p.with_page(a, |d| d[0]).unwrap(), 9);
+        assert_eq!(p.with_page(b, |d| d[0]).unwrap(), 2);
+        // The high-water stat recorded the peak obligation, and a
+        // reset restarts it from the *current* dirty count.
+        assert_eq!(p.stats().dirty_high_water, 2);
+        p.reset_stats();
+        assert_eq!(p.stats().dirty_high_water, 1);
+        p.validate().unwrap();
+    }
+
+    /// Satellite regression: every pool-issued data-file sync is
+    /// accounted — the empty commit's durability sync included.
+    #[test]
+    fn sync_accounting_covers_empty_commits_and_applies() {
+        let (p, faults) = wal_pool(2);
+        assert_eq!(p.stats().syncs, 0);
+        p.commit().unwrap(); // empty: still one durability sync
+        assert_eq!(p.stats().syncs, 1);
+        assert_eq!(faults.counts().syncs, 1, "stat matches the pager op");
+        page_with(&p, 1);
+        p.commit().unwrap(); // apply-phase data sync
+        assert_eq!(p.stats().syncs, 2);
+        p.commit().unwrap(); // empty again
+        assert_eq!(p.stats().syncs, 3);
+        assert_eq!(faults.counts().syncs, 3);
+    }
+
+    #[test]
+    fn epoch_advances_only_on_nonempty_commits() {
+        let (p, _faults) = wal_pool(2);
+        assert_eq!(p.commit_epoch(), 1);
+        p.commit().unwrap();
+        assert_eq!(p.commit_epoch(), 1, "an empty commit creates no state");
+        page_with(&p, 3);
+        p.commit().unwrap();
+        assert_eq!(p.commit_epoch(), 2);
+    }
+
+    #[test]
+    fn snapshot_readers_see_their_pinned_epoch() {
+        let (p, _faults) = wal_pool(4);
+        let a = p.allocate().unwrap();
+        p.write_page(a, &[1; 8]).unwrap();
+        p.commit().unwrap();
+        let e = p.pin_snapshot();
+        assert_eq!(e, 2);
+        // Uncommitted overwrite: the snapshot serves the committed
+        // base while the live read sees the new bytes.
+        p.write_page(a, &[2; 8]).unwrap();
+        assert_eq!(p.with_page_at(a, e, |d| d[0]).unwrap(), 1);
+        assert_eq!(p.with_page(a, |d| d[0]).unwrap(), 2);
+        // Committed overwrite: the flip retained the superseded image
+        // for the pin.
+        p.commit().unwrap();
+        assert_eq!(p.commit_epoch(), 3);
+        assert_eq!(p.with_page_at(a, e, |d| d[0]).unwrap(), 1);
+        assert_eq!(p.with_page(a, |d| d[0]).unwrap(), 2);
+        // A fresh pin sees the new epoch.
+        let e2 = p.pin_snapshot();
+        assert_eq!(p.with_page_at(a, e2, |d| d[0]).unwrap(), 2);
+        p.validate().unwrap();
+        // Draining the pins garbage-collects the retained images.
+        p.unpin_snapshot(e);
+        p.unpin_snapshot(e2);
+        p.validate().unwrap();
+        let e3 = p.pin_snapshot();
+        assert_eq!(p.with_page_at(a, e3, |d| d[0]).unwrap(), 2);
+        p.unpin_snapshot(e3);
+    }
+
+    #[test]
+    fn snapshot_read_falls_back_to_disk_when_no_base_is_buffered() {
+        let (p, _faults) = wal_pool(2);
+        let a = p.allocate().unwrap();
+        p.write_page(a, &[5; 8]).unwrap();
+        p.commit().unwrap();
+        // Push `a`'s clean frame out, then overwrite the page while it
+        // is not resident: the dirty frame has no base, so the
+        // committed image survives only on disk (no-steal).
+        page_with(&p, 1);
+        page_with(&p, 2);
+        assert_eq!(p.resident(), 2, "the clean frame for `a` was evicted");
+        let e = p.pin_snapshot();
+        p.write_page(a, &[6; 8]).unwrap();
+        let reads0 = p.stats().reads;
+        assert_eq!(p.with_page_at(a, e, |d| d[0]).unwrap(), 5);
+        assert_eq!(p.stats().reads, reads0 + 1, "served from disk");
+        assert_eq!(p.with_page(a, |d| d[0]).unwrap(), 6);
+        p.unpin_snapshot(e);
+        p.validate().unwrap();
+    }
+
+    /// A pager whose split-off WAL handle parks the first log sync
+    /// until the test releases it — a deterministic window into the
+    /// middle of a concurrent commit (past capture, before the flip).
+    struct HookPager {
+        inner: MemPager,
+        armed: std::sync::Arc<std::sync::atomic::AtomicBool>,
+        hook: Option<(std::sync::mpsc::Sender<()>, std::sync::mpsc::Receiver<()>)>,
+    }
+
+    struct HookWal {
+        inner: Box<dyn crate::wal::WalFile>,
+        armed: std::sync::Arc<std::sync::atomic::AtomicBool>,
+        hook: Option<(std::sync::mpsc::Sender<()>, std::sync::mpsc::Receiver<()>)>,
+    }
+
+    impl crate::wal::WalFile for HookWal {
+        fn append(&mut self, bytes: &[u8]) -> Result<()> {
+            self.inner.append(bytes)
+        }
+        fn sync(&mut self) -> Result<()> {
+            if self.armed.load(Ordering::SeqCst) {
+                if let Some((signal, resume)) = self.hook.take() {
+                    signal.send(()).unwrap();
+                    resume.recv().unwrap();
+                }
+            }
+            self.inner.sync()
+        }
+        fn len(&mut self) -> Result<u64> {
+            self.inner.len()
+        }
+        fn rollback(&mut self, len: u64) -> Result<()> {
+            self.inner.rollback(len)
+        }
+        fn truncate(&mut self) -> Result<()> {
+            self.inner.truncate()
+        }
+    }
+
+    impl Pager for HookPager {
+        fn page_size(&self) -> usize {
+            self.inner.page_size()
+        }
+        fn num_pages(&self) -> u64 {
+            self.inner.num_pages()
+        }
+        fn allocate(&mut self) -> Result<PageId> {
+            self.inner.allocate()
+        }
+        fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+            self.inner.read_page(id, buf)
+        }
+        fn write_page(&mut self, id: PageId, data: &[u8]) -> Result<()> {
+            self.inner.write_page(id, data)
+        }
+        fn sync(&mut self) -> Result<()> {
+            self.inner.sync()
+        }
+        fn wal_append(&mut self, bytes: &[u8]) -> Result<()> {
+            self.inner.wal_append(bytes)
+        }
+        fn wal_sync(&mut self) -> Result<()> {
+            self.inner.wal_sync()
+        }
+        fn wal_len(&mut self) -> Result<u64> {
+            self.inner.wal_len()
+        }
+        fn wal_rollback(&mut self, len: u64) -> Result<()> {
+            self.inner.wal_rollback(len)
+        }
+        fn wal_truncate(&mut self) -> Result<()> {
+            self.inner.wal_truncate()
+        }
+        fn wal_read(&mut self) -> Result<Vec<u8>> {
+            self.inner.wal_read()
+        }
+        fn split_wal(&mut self) -> Option<Box<dyn crate::wal::WalFile>> {
+            let inner = self.inner.split_wal()?;
+            Some(Box::new(HookWal {
+                inner,
+                armed: self.armed.clone(),
+                hook: self.hook.take(),
+            }))
+        }
+    }
+
+    /// A parking handle: `arm()` makes the next log sync park until
+    /// the returned sender fires.
+    fn hooked_pool() -> (
+        std::sync::Arc<BufferPool>,
+        std::sync::Arc<std::sync::atomic::AtomicBool>,
+        std::sync::mpsc::Receiver<()>,
+        std::sync::mpsc::Sender<()>,
+    ) {
+        let (sig_tx, sig_rx) = std::sync::mpsc::channel();
+        let (res_tx, res_rx) = std::sync::mpsc::channel();
+        let armed = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let pager = HookPager {
+            inner: MemPager::new(128),
+            armed: armed.clone(),
+            hook: Some((sig_tx, res_rx)),
+        };
+        let p = BufferPool::with_config(Box::new(pager), 4, 1, true, true);
+        (std::sync::Arc::new(p), armed, sig_rx, res_tx)
+    }
+
+    /// Satellite regression for the un-dirty pass: a page freed and
+    /// re-allocated while its commit is in flight gets a fresh
+    /// mutation stamp, so even byte-identical content must stay dirty
+    /// and be logged by the *next* commit. (The old byte-compare pass
+    /// could confuse the two incarnations.)
+    #[test]
+    fn free_then_realloc_mid_commit_stays_dirty() {
+        let (p, armed, parked, resume) = hooked_pool();
+        let a = p.allocate().unwrap();
+        p.write_page(a, &[7; 16]).unwrap();
+        armed.store(true, Ordering::SeqCst);
+        let committer = {
+            let p = p.clone();
+            std::thread::spawn(move || p.commit())
+        };
+        // The committer is parked inside the log sync — past capture,
+        // before the flip. Recycle the page with identical bytes.
+        parked.recv().unwrap();
+        p.free_page(a).unwrap();
+        assert_eq!(p.allocate().unwrap(), a, "freed page must be recycled");
+        p.write_page(a, &[7; 16]).unwrap();
+        resume.send(()).unwrap();
+        committer.join().unwrap().unwrap();
+        // The re-allocated incarnation is a different write than the
+        // captured one: it stays dirty and the next commit logs it.
+        assert_eq!(p.dirty_pages(), 1);
+        p.validate().unwrap();
+        let appends = p.stats().wal_appends;
+        p.commit().unwrap();
+        assert_eq!(
+            p.stats().wal_appends - appends,
+            3,
+            "begin + image + commit re-logged"
+        );
+        assert_eq!(p.dirty_pages(), 0);
+        assert_eq!(p.with_page(a, |d| d[0]).unwrap(), 7);
+        p.validate().unwrap();
+    }
+
+    /// A reader pinned before a commit keeps its epoch across the
+    /// commit's entire window, including while the committer is parked
+    /// mid-log — the tentpole's non-blocking read guarantee in
+    /// miniature.
+    #[test]
+    fn snapshot_reads_proceed_while_a_commit_is_in_flight() {
+        let (p, armed, parked, resume) = hooked_pool();
+        let a = p.allocate().unwrap();
+        p.write_page(a, &[1; 8]).unwrap();
+        p.commit().unwrap();
+        let e = p.pin_snapshot();
+        p.write_page(a, &[2; 8]).unwrap();
+        armed.store(true, Ordering::SeqCst);
+        let committer = {
+            let p = p.clone();
+            std::thread::spawn(move || p.commit())
+        };
+        parked.recv().unwrap();
+        // The committer holds the commit lock and the WAL handle, and
+        // is blocked inside the log fsync. Reads do not wait for it.
+        assert_eq!(p.with_page_at(a, e, |d| d[0]).unwrap(), 1);
+        assert_eq!(p.with_page(a, |d| d[0]).unwrap(), 2);
+        resume.send(()).unwrap();
+        committer.join().unwrap().unwrap();
+        // Post-commit, the pinned epoch still serves the old image.
+        assert_eq!(p.with_page_at(a, e, |d| d[0]).unwrap(), 1);
+        assert_eq!(p.with_page(a, |d| d[0]).unwrap(), 2);
+        p.unpin_snapshot(e);
+        p.validate().unwrap();
+    }
+
+    /// Committers queued behind an in-flight leader group: the
+    /// transaction is logged exactly once with one atomicity-point
+    /// sync, and followers add no log I/O.
+    #[test]
+    fn queued_committers_group_behind_the_leader() {
+        let (p, armed, parked, resume) = hooked_pool();
+        let a = p.allocate().unwrap();
+        p.write_page(a, &[4; 4]).unwrap();
+        armed.store(true, Ordering::SeqCst);
+        let leader = {
+            let p = p.clone();
+            std::thread::spawn(move || p.commit())
+        };
+        parked.recv().unwrap();
+        let follower = {
+            let p = p.clone();
+            std::thread::spawn(move || p.commit())
+        };
+        resume.send(()).unwrap();
+        leader.join().unwrap().unwrap();
+        follower.join().unwrap().unwrap();
+        let s = p.stats();
+        // Whether the follower queued in time (zero-op return) or
+        // arrived after the leader finished (empty commit), the
+        // transaction was logged exactly once.
+        assert_eq!(s.wal_appends, 3, "one transaction, logged once");
+        assert_eq!(s.wal_syncs, 2, "atomicity point + truncate only");
+        assert!(s.syncs <= 2, "at most one extra empty-commit sync");
+        assert_eq!(p.dirty_pages(), 0);
+        assert_eq!(p.with_page(a, |d| d[0]).unwrap(), 4);
+        p.validate().unwrap();
     }
 
     #[test]

@@ -319,30 +319,87 @@ impl FaultPager {
     /// Counts `op` and returns the firing spec's mode, if any. The first
     /// matching armed spec wins when several fire on the same operation.
     fn decide(&self, op: OpKind) -> Option<FaultMode> {
-        let mut plan = self.plan.acquire();
-        plan.counts.bump(op);
-        if let Some(trace) = plan.trace.as_mut() {
-            trace.push(op);
+        decide(&self.plan, op)
+    }
+}
+
+/// The schedule logic shared by [`FaultPager`] and its split-off
+/// [`FaultWal`] handles: both routes count the *same* global op stream,
+/// so a sweep index addresses every operation of a workload no matter
+/// which lock it ran under. The plan lock is released before the inner
+/// operation runs.
+fn decide(plan: &RankedMutex<Plan>, op: OpKind) -> Option<FaultMode> {
+    let mut plan = plan.acquire();
+    plan.counts.bump(op);
+    if let Some(trace) = plan.trace.as_mut() {
+        trace.push(op);
+    }
+    let mut fire = None;
+    for armed in &mut plan.specs {
+        if !armed.spec.ops.matches(op) {
+            continue;
         }
-        let mut fire = None;
-        for armed in &mut plan.specs {
-            if !armed.spec.ops.matches(op) {
-                continue;
+        armed.seen += 1;
+        let hit = if armed.spec.sticky {
+            armed.seen >= armed.spec.at
+        } else {
+            armed.seen == armed.spec.at
+        };
+        if hit && fire.is_none() {
+            fire = Some(armed.spec.mode);
+        }
+    }
+    if fire.is_some() {
+        plan.injected += 1;
+    }
+    fire
+}
+
+/// Split-off WAL handle that injects from the same plan as its
+/// [`FaultPager`] (same counters, same specs, same trace — one global
+/// operation stream).
+struct FaultWal {
+    inner: Box<dyn crate::wal::WalFile>,
+    plan: Arc<RankedMutex<Plan>>,
+}
+
+impl crate::wal::WalFile for FaultWal {
+    fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        match decide(&self.plan, OpKind::WalAppend) {
+            None => self.inner.append(bytes),
+            Some(FaultMode::Error) => Err(injected_error("wal append")),
+            Some(FaultMode::TornWrite { prefix }) => {
+                let prefix = prefix.min(bytes.len());
+                self.inner.append(&bytes[..prefix])?;
+                Err(injected_error("torn wal append"))
             }
-            armed.seen += 1;
-            let hit = if armed.spec.sticky {
-                armed.seen >= armed.spec.at
-            } else {
-                armed.seen == armed.spec.at
-            };
-            if hit && fire.is_none() {
-                fire = Some(armed.spec.mode);
-            }
         }
-        if fire.is_some() {
-            plan.injected += 1;
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        if decide(&self.plan, OpKind::WalSync).is_some() {
+            return Err(injected_error("wal sync"));
         }
-        fire
+        self.inner.sync()
+    }
+
+    fn len(&mut self) -> Result<u64> {
+        // Metadata peek: never counted, never faulted (see `wal_len`).
+        self.inner.len()
+    }
+
+    fn rollback(&mut self, len: u64) -> Result<()> {
+        if decide(&self.plan, OpKind::WalTruncate).is_some() {
+            return Err(injected_error("wal rollback"));
+        }
+        self.inner.rollback(len)
+    }
+
+    fn truncate(&mut self) -> Result<()> {
+        if decide(&self.plan, OpKind::WalTruncate).is_some() {
+            return Err(injected_error("wal truncate"));
+        }
+        self.inner.truncate()
     }
 }
 
@@ -443,6 +500,14 @@ impl Pager for FaultPager {
             return Err(injected_error("wal read"));
         }
         self.inner.wal_read()
+    }
+
+    fn split_wal(&mut self) -> Option<Box<dyn crate::wal::WalFile>> {
+        let inner = self.inner.split_wal()?;
+        Some(Box::new(FaultWal {
+            inner,
+            plan: Arc::clone(&self.plan),
+        }))
     }
 }
 
@@ -645,6 +710,38 @@ mod tests {
         assert!(h.take_trace().is_empty());
         p.sync().unwrap();
         assert!(h.take_trace().is_empty());
+    }
+
+    #[test]
+    fn split_wal_handle_shares_plan_counts_and_faults() {
+        let (mut p, h) = faulty();
+        let mut w = p.split_wal().expect("MemPager supports split_wal");
+        // Both routes land in one op stream.
+        w.append(b"aaa").unwrap();
+        p.wal_append(b"bbb").unwrap();
+        assert_eq!(h.counts().wal_appends, 2);
+        // Faults armed on the handle's traffic fire through the handle.
+        h.arm(FaultSpec::error_at(OpFilter::WalSyncs, 1));
+        assert!(is_injected(&w.sync().unwrap_err()));
+        w.sync().unwrap();
+        // Torn appends behave identically to the pager route.
+        h.arm(FaultSpec {
+            ops: OpFilter::WalAppends,
+            at: 1,
+            sticky: false,
+            mode: FaultMode::TornWrite { prefix: 2 },
+        });
+        assert!(is_injected(&w.append(b"torn").unwrap_err()));
+        assert_eq!(p.wal_read().unwrap(), b"aaabbbto");
+        // Rollback through the handle counts as truncation traffic and
+        // len stays an unfaulted metadata peek.
+        h.arm(FaultSpec::sticky_from(OpFilter::WalTruncates, 1));
+        assert!(is_injected(&w.rollback(0).unwrap_err()));
+        assert!(is_injected(&w.truncate().unwrap_err()));
+        assert_eq!(w.len().unwrap(), 8);
+        h.disarm();
+        w.truncate().unwrap();
+        assert_eq!(w.len().unwrap(), 0);
     }
 
     #[test]

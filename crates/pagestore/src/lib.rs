@@ -47,6 +47,6 @@ pub use fault::{FaultHandle, FaultPager, FaultSpec, OpFilter};
 pub use nodecache::NodeCache;
 pub use pager::{FilePager, MemPager, PageId, Pager, DEFAULT_PAGE_SIZE};
 pub use rank::{RankedGuard, RankedMutex, RankedReadGuard, RankedRwLock, RankedWriteGuard};
-pub use store::{Backing, SharedStore, StoreConfig};
+pub use store::{Backing, SharedStore, StoreConfig, StoreSnapshot};
 pub use superblock::{RootEntry, RootKind, Superblock};
 pub use wal::RecoveryReport;

@@ -31,8 +31,22 @@
 //! the post-write generation and therefore decoded the post-write bytes.
 //!
 //! Each shard's mutex is a [`RankedMutex`] at rank
-//! [`NODE_CACHE`](crate::rank::NODE_CACHE) — a leaf lock; no other lock
-//! is ever acquired while it is held.
+//! [`NODE_CACHE`](crate::rank::NODE_CACHE); only the byte-pool locks
+//! below it in the rank table are acquired while it is held.
+//!
+//! # Relation to commit epochs
+//!
+//! The `(page, generation)` pairs here are the single-version
+//! ancestor of the buffer pool's store-wide *commit epochs* (see the
+//! `buffer` module docs): a generation says "these decoded bytes are
+//! current", an epoch says "these bytes were current as of commit
+//! `e`".  The cache intentionally stays single-version — it always
+//! tracks the *live* image, and snapshot reads
+//! ([`StoreSnapshot`](crate::store::StoreSnapshot)) bypass it and
+//! decode from their pinned epoch's page images instead.  That keeps
+//! the invalidate-on-write protocol untouched: a cached node is valid
+//! iff its generation is current, regardless of how many older epochs
+//! are still pinned underneath.
 
 use std::any::Any;
 use std::collections::HashMap;

@@ -3,8 +3,12 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 use boxagg_common::error::{invalid_arg, Result};
+
+use crate::rank::{self, RankedMutex};
+use crate::wal::WalFile;
 
 /// Identifier of a page within a pager. Dense, starting at 0.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -76,6 +80,19 @@ pub trait Pager: Send {
 
     /// Reads the entire current write-ahead log (for recovery).
     fn wal_read(&mut self) -> Result<Vec<u8>>;
+
+    /// Detaches a standalone [`WalFile`] handle onto the same log, or
+    /// `None` if this pager cannot serve log traffic independently of
+    /// its page traffic.
+    ///
+    /// When a handle is returned, the buffer pool routes the log phase
+    /// of every commit through it instead of through the pager's own
+    /// `wal_*` methods, so WAL fsyncs no longer hold the pager mutex
+    /// and cache-miss readers proceed during a commit. Pagers with the
+    /// default `None` keep the legacy single-lock route.
+    fn split_wal(&mut self) -> Option<Box<dyn WalFile>> {
+        None
+    }
 }
 
 fn check_id(id: PageId, num_pages: u64) -> Result<usize> {
@@ -97,7 +114,11 @@ fn check_id(id: PageId, num_pages: u64) -> Result<usize> {
 pub struct MemPager {
     page_size: usize,
     pages: Vec<Box<[u8]>>,
-    wal: Vec<u8>,
+    // Shared with split-off `WalFile` handles; the rank-checked lock
+    // sits at `WAL_STATE`, above every pool lock, so either route (the
+    // pool's dedicated WAL handle or the pager's own `wal_*` methods
+    // under the pager mutex) may take it last.
+    wal: Arc<RankedMutex<Vec<u8>>>,
 }
 
 impl MemPager {
@@ -107,8 +128,44 @@ impl MemPager {
         Self {
             page_size,
             pages: Vec::new(),
-            wal: Vec::new(),
+            wal: Arc::new(RankedMutex::new(
+                rank::WAL_STATE,
+                "mem wal state",
+                Vec::new(),
+            )),
         }
+    }
+}
+
+/// Split-off WAL handle for [`MemPager`]: a clone of the shared log.
+struct MemWal(Arc<RankedMutex<Vec<u8>>>);
+
+impl WalFile for MemWal {
+    fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.0.acquire().extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn len(&mut self) -> Result<u64> {
+        Ok(self.0.acquire().len() as u64)
+    }
+
+    fn rollback(&mut self, len: u64) -> Result<()> {
+        let mut wal = self.0.acquire();
+        let len = len as usize;
+        if len < wal.len() {
+            wal.truncate(len);
+        }
+        Ok(())
+    }
+
+    fn truncate(&mut self) -> Result<()> {
+        self.0.acquire().clear();
+        Ok(())
     }
 }
 
@@ -147,7 +204,7 @@ impl Pager for MemPager {
     }
 
     fn wal_append(&mut self, bytes: &[u8]) -> Result<()> {
-        self.wal.extend_from_slice(bytes);
+        self.wal.acquire().extend_from_slice(bytes);
         Ok(())
     }
 
@@ -156,21 +213,25 @@ impl Pager for MemPager {
     }
 
     fn wal_len(&mut self) -> Result<u64> {
-        Ok(self.wal.len() as u64)
+        Ok(self.wal.acquire().len() as u64)
     }
 
     fn wal_rollback(&mut self, len: u64) -> Result<()> {
-        self.wal.truncate(len as usize);
+        self.wal.acquire().truncate(len as usize);
         Ok(())
     }
 
     fn wal_truncate(&mut self) -> Result<()> {
-        self.wal.clear();
+        self.wal.acquire().clear();
         Ok(())
     }
 
     fn wal_read(&mut self) -> Result<Vec<u8>> {
-        Ok(self.wal.clone())
+        Ok(self.wal.acquire().clone())
+    }
+
+    fn split_wal(&mut self) -> Option<Box<dyn WalFile>> {
+        Some(Box::new(MemWal(Arc::clone(&self.wal))))
     }
 }
 
@@ -185,8 +246,70 @@ pub struct FilePager {
     page_size: usize,
     file: File,
     num_pages: u64,
-    wal: File,
-    wal_len: u64,
+    // Shared with split-off `WalFile` handles (see `MemPager::wal`).
+    wal: Arc<RankedMutex<WalState>>,
+}
+
+/// The sidecar log file plus its tracked length, shared between a
+/// [`FilePager`] and any [`WalFile`] handles split off from it.
+#[derive(Debug)]
+struct WalState {
+    file: File,
+    len: u64,
+}
+
+impl WalState {
+    fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.file.seek(SeekFrom::Start(self.len))?;
+        if let Err(e) = self.file.write_all(bytes) {
+            // A short append leaves a torn tail; recovery would discard
+            // it by checksum, but rolling back keeps the clean path
+            // append-at-known-offset. Best effort: the write error is
+            // what the caller must see.
+            // lint: allow(discarded-result) -- best-effort rollback; the append error is what the caller must see
+            let _ = self.file.set_len(self.len);
+            return Err(e.into());
+        }
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn rollback(&mut self, len: u64) -> Result<()> {
+        if len < self.len {
+            self.file.set_len(len)?;
+            self.len = len;
+        }
+        Ok(())
+    }
+}
+
+/// Split-off WAL handle for [`FilePager`]: a clone of the shared state.
+struct FileWal(Arc<RankedMutex<WalState>>);
+
+impl WalFile for FileWal {
+    fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.0.acquire().append(bytes)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.0.acquire().file.sync_data()?;
+        Ok(())
+    }
+
+    fn len(&mut self) -> Result<u64> {
+        Ok(self.0.acquire().len)
+    }
+
+    fn rollback(&mut self, len: u64) -> Result<()> {
+        self.0.acquire().rollback(len)
+    }
+
+    fn truncate(&mut self) -> Result<()> {
+        let mut wal = self.0.acquire();
+        wal.file.set_len(0)?;
+        wal.len = 0;
+        Ok(())
+    }
 }
 
 /// The sidecar WAL path for a page file: `<path>.wal`.
@@ -216,8 +339,11 @@ impl FilePager {
             page_size,
             file,
             num_pages: 0,
-            wal,
-            wal_len: 0,
+            wal: Arc::new(RankedMutex::new(
+                rank::WAL_STATE,
+                "file wal state",
+                WalState { file: wal, len: 0 },
+            )),
         })
     }
 
@@ -270,8 +396,14 @@ impl FilePager {
             page_size,
             file,
             num_pages: len / page_size as u64,
-            wal,
-            wal_len,
+            wal: Arc::new(RankedMutex::new(
+                rank::WAL_STATE,
+                "file wal state",
+                WalState {
+                    file: wal,
+                    len: wal_len,
+                },
+            )),
         })
     }
 
@@ -327,49 +459,40 @@ impl Pager for FilePager {
     }
 
     fn wal_append(&mut self, bytes: &[u8]) -> Result<()> {
-        self.wal.seek(SeekFrom::Start(self.wal_len))?;
-        if let Err(e) = self.wal.write_all(bytes) {
-            // A short append leaves a torn tail; recovery would discard
-            // it by checksum, but rolling back keeps the clean path
-            // append-at-known-offset. Best effort: the write error is
-            // what the caller must see.
-            // lint: allow(discarded-result) -- best-effort rollback; the append error is what the caller must see
-            let _ = self.wal.set_len(self.wal_len);
-            return Err(e.into());
-        }
-        self.wal_len += bytes.len() as u64;
-        Ok(())
+        self.wal.acquire().append(bytes)
     }
 
     fn wal_sync(&mut self) -> Result<()> {
-        self.wal.sync_data()?;
+        self.wal.acquire().file.sync_data()?;
         Ok(())
     }
 
     fn wal_len(&mut self) -> Result<u64> {
-        Ok(self.wal_len)
+        Ok(self.wal.acquire().len)
     }
 
     fn wal_rollback(&mut self, len: u64) -> Result<()> {
-        if len < self.wal_len {
-            self.wal.set_len(len)?;
-            self.wal_len = len;
-        }
-        Ok(())
+        self.wal.acquire().rollback(len)
     }
 
     fn wal_truncate(&mut self) -> Result<()> {
-        self.wal.set_len(0)?;
-        self.wal_len = 0;
+        let mut wal = self.wal.acquire();
+        wal.file.set_len(0)?;
+        wal.len = 0;
         Ok(())
     }
 
     fn wal_read(&mut self) -> Result<Vec<u8>> {
-        self.wal.seek(SeekFrom::Start(0))?;
+        let mut wal = self.wal.acquire();
+        wal.file.seek(SeekFrom::Start(0))?;
         let mut out = Vec::new();
-        self.wal.read_to_end(&mut out)?;
-        self.wal_len = out.len() as u64;
+        wal.file.read_to_end(&mut out)?;
+        wal.len = out.len() as u64;
         Ok(out)
+    }
+
+    fn split_wal(&mut self) -> Option<Box<dyn WalFile>> {
+        Some(Box::new(FileWal(Arc::clone(&self.wal))))
     }
 }
 
@@ -436,10 +559,30 @@ mod tests {
         assert_eq!(buf, data);
     }
 
+    /// A split-off handle and the pager's own `wal_*` methods must see
+    /// one and the same byte stream, whichever side wrote last.
+    fn exercise_split_wal(pager: &mut dyn Pager) {
+        let mut h = pager
+            .split_wal()
+            .expect("built-in pagers support split_wal");
+        h.append(b"abc").unwrap();
+        assert_eq!(pager.wal_read().unwrap(), b"abc");
+        pager.wal_append(b"+d").unwrap();
+        assert_eq!(h.len().unwrap(), 5);
+        h.rollback(3).unwrap();
+        h.rollback(999).unwrap();
+        assert_eq!(pager.wal_read().unwrap(), b"abc");
+        h.sync().unwrap();
+        h.truncate().unwrap();
+        assert_eq!(pager.wal_len().unwrap(), 0);
+        assert_eq!(h.len().unwrap(), 0);
+    }
+
     #[test]
     fn mem_pager_basics() {
         let mut p = MemPager::new(256);
         exercise(&mut p);
+        exercise_split_wal(&mut p);
     }
 
     #[test]
@@ -449,6 +592,7 @@ mod tests {
         {
             let mut p = FilePager::create(&path, 256).unwrap();
             exercise(&mut p);
+            exercise_split_wal(&mut p);
         }
         // Reopen: contents persisted.
         let mut p = FilePager::open(&path, 256).unwrap();

@@ -33,14 +33,29 @@
 //! allocator in `free_page` and the shards in `write_page`), a commit
 //! holds it exclusively across its dirty-frame snapshot — so it must sit
 //! above `SUPERBLOCK` (whose holder writes page 0) and below `ALLOCATOR`.
-//! `NODE_CACHE` guards a decoded-node cache shard in
-//! [`crate::nodecache`]; it is a *leaf* lock — never held across any
-//! other acquisition — so any slot above `SUPERBLOCK` would do, and it
-//! sits just below `SHARD` to mirror the layering (typed cache above the
-//! byte pool).  `STATS` at the top holds the fault-injection plan
-//! ([`crate::fault`]), which nests strictly inside the pager lock —
-//! today's [`crate::buffer::IoStats`] counters are atomics and take no
-//! lock.
+//! `SNAPSHOT` guards the pool's pinned-epoch table and retained page
+//! versions: a commit's flip phase takes it while holding the barrier
+//! exclusively (and then touches shards and the pager to retain
+//! superseded images), and a snapshot reader takes it under a shared
+//! barrier before falling back to the shards — so it must sit between
+//! `BARRIER` and `ALLOCATOR`.  `NODE_CACHE` guards a decoded-node cache
+//! shard in [`crate::nodecache`]; it is a *leaf* lock — never held
+//! across any other acquisition — so any slot above `SUPERBLOCK` would
+//! do, and it sits just below `SHARD` to mirror the layering (typed
+//! cache above the byte pool).  `WAL_IO` guards the pool's dedicated
+//! [`WalFile`](crate::wal::WalFile) handle: the log phase of a commit
+//! takes it *instead of* the pager lock (so log fsyncs never block
+//! cache-miss readers), and it ranks above `PAGER` because the legacy
+//! fallback route reaches the same log bytes while holding the pager.
+//! `WAL_STATE` is the pager-internal lock on the shared log bytes
+//! themselves ([`MemPager`](crate::pager::MemPager) /
+//! [`FilePager`](crate::pager::FilePager)); it is taken last on either
+//! route — under `WAL_IO` via a split handle, or under `PAGER` via the
+//! pager's own `wal_*` methods — so it ranks above both.  `STATS` at
+//! the very top holds the fault-injection plan ([`crate::fault`]),
+//! which nests strictly inside the pager lock and is always released
+//! before the faulted operation runs — today's
+//! [`crate::buffer::IoStats`] counters are atomics and take no lock.
 //!
 //! Release builds compile the checker away entirely: `acquire` is then a
 //! plain `Mutex::lock` with poison recovery.
@@ -71,23 +86,41 @@ pub const SUPERBLOCK: u32 = 1;
 /// (`write_page`), and `set_root` reaches it while holding the
 /// superblock lock, which pins it between the two.
 pub const BARRIER: u32 = 2;
+/// The snapshot table ([`crate::buffer::BufferPool`]): pinned commit
+/// epochs plus page images retained for them.  A commit's flip phase
+/// holds it (under the exclusive barrier) while touching shards and the
+/// pager to retain superseded images; snapshot readers hold it briefly
+/// under a shared barrier.  Hence above `BARRIER`, below `ALLOCATOR`.
+pub const SNAPSHOT: u32 = 3;
 /// Free-list / high-water-mark allocator state.  Held across pager grow
 /// and across shard frame-drop, so it must rank below both.
-pub const ALLOCATOR: u32 = 3;
+pub const ALLOCATOR: u32 = 4;
 /// A decoded-node cache shard ([`crate::nodecache`]).  A leaf lock:
 /// lookups, conditional inserts and invalidations never touch another
 /// lock while holding it.
-pub const NODE_CACHE: u32 = 4;
+pub const NODE_CACHE: u32 = 5;
 /// A buffer-pool shard (cache segment).  Held across pager I/O on miss,
 /// eviction, and flush.
-pub const SHARD: u32 = 5;
-/// The backing pager (file or memory).  Innermost lock; nothing else is
-/// acquired while it is held.
-pub const PAGER: u32 = 6;
+pub const SHARD: u32 = 6;
+/// The backing pager (file or memory).  Nothing else below `WAL_STATE`
+/// is acquired while it is held.
+pub const PAGER: u32 = 7;
+/// The pool's dedicated WAL handle ([`crate::wal::WalFile`], split off
+/// the pager at construction).  The log phase of a commit holds it
+/// across appends and log fsyncs *without* the pager lock; above
+/// `PAGER` because the no-split fallback performs the same log traffic
+/// while holding the pager.
+pub const WAL_IO: u32 = 8;
+/// Pager-internal lock on the shared WAL bytes (the state a split
+/// [`WalFile`](crate::wal::WalFile) handle aliases).  Taken last on
+/// both routes — under `WAL_IO` via the handle, under `PAGER` via the
+/// pager's own `wal_*` methods — so it ranks above both.
+pub const WAL_STATE: u32 = 9;
 /// Reserved for a future lock-based statistics sink; used today by the
 /// fault-injection plan ([`crate::fault`]), which nests strictly inside
-/// the pager lock.
-pub const STATS: u32 = 7;
+/// the pager or WAL-handle lock and is released before the faulted
+/// operation reaches the `WAL_STATE` lock.
+pub const STATS: u32 = 10;
 
 #[cfg(debug_assertions)]
 thread_local! {
@@ -111,7 +144,8 @@ fn check_and_push(lock_rank: u32, label: &'static str) {
                 "lock-rank violation: acquiring `{label}` (rank {lock_rank}) \
                  while holding `{top_label}` (rank {top_rank}); locks must be \
                  taken in strictly increasing rank order (wal < superblock < \
-                 barrier < allocator < node cache < shard < pager < stats)",
+                 barrier < snapshot < allocator < node cache < shard < pager < \
+                 wal io < wal state < stats)",
             );
         }
         held.borrow_mut().push((lock_rank, label));
@@ -381,6 +415,38 @@ mod tests {
         drop(gp);
         // Would panic here if SHARD or PAGER were still recorded.
         let _ga = a.acquire();
+    }
+
+    #[test]
+    fn wal_state_is_reachable_from_both_log_routes() {
+        // The shared WAL bytes are taken last on either route: under the
+        // pool's dedicated handle (split path) or under the pager lock
+        // (no-split fallback). Both must be legal orders.
+        let pager = RankedMutex::new(PAGER, "pager", 0u32);
+        let handle = RankedMutex::new(WAL_IO, "wal handle", 0u32);
+        let state = RankedMutex::new(WAL_STATE, "wal state", 0u32);
+        {
+            let _h = handle.acquire();
+            let _s = state.acquire();
+        }
+        {
+            let _p = pager.acquire();
+            let _s = state.acquire();
+        }
+    }
+
+    #[test]
+    fn snapshot_sits_between_barrier_and_shard() {
+        // A commit's flip phase: exclusive barrier, then the snapshot
+        // table, then shards and the pager for retained images.
+        let barrier = RankedRwLock::new(BARRIER, "write barrier", 0u32);
+        let snaps = RankedMutex::new(SNAPSHOT, "snapshot table", 0u32);
+        let shard = RankedMutex::new(SHARD, "shard", 0u32);
+        let pager = RankedMutex::new(PAGER, "pager", 0u32);
+        let _b = barrier.acquire_excl();
+        let _n = snaps.acquire();
+        let _s = shard.acquire();
+        let _p = pager.acquire();
     }
 
     #[test]

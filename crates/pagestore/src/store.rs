@@ -381,8 +381,56 @@ impl SharedStore {
     /// stores) or flushes them eagerly (raw stores) — see
     /// [`BufferPool::commit`]. After a successful return the committed
     /// state survives any crash.
+    ///
+    /// On a WAL store, commits never block readers: concurrent queries
+    /// keep reading (and pinned [`snapshot`](Self::snapshot)s keep
+    /// their epoch) while the transaction is logged and synced, and
+    /// concurrent `commit` calls group into a single log write.
     pub fn commit(&self) -> Result<()> {
         self.pool.commit()
+    }
+
+    /// The store's current commit epoch — advances once per non-empty
+    /// committed transaction (see [`BufferPool::commit_epoch`]).
+    pub fn commit_epoch(&self) -> u64 {
+        self.pool.commit_epoch()
+    }
+
+    /// Pins the current commit epoch and returns an immutable view of
+    /// the store as of that epoch. The snapshot observes exactly the
+    /// state the last commit left — never any uncommitted write, never
+    /// a half-applied transaction — no matter how many commits run
+    /// while it is alive. Dropping the snapshot releases the pin (and
+    /// the superseded page images retained for it).
+    ///
+    /// Only WAL stores have commit epochs; a raw store (no atomicity
+    /// boundary) returns an error.
+    pub fn snapshot(&self) -> Result<StoreSnapshot> {
+        if !self.wal_enabled() {
+            return Err(invalid_arg(
+                "snapshots need the WAL commit protocol: only committed \
+                 epochs are immutable, and a raw store has none",
+            ));
+        }
+        let epoch = self.pool.pin_snapshot();
+        Ok(StoreSnapshot {
+            store: self.clone(),
+            epoch,
+        })
+    }
+
+    /// Sets the pool's dirty-frame ceiling: once this many uncommitted
+    /// pages are pinned in memory, further dirtying writes fail with
+    /// [`Error::Backpressure`](boxagg_common::error::Error::Backpressure)
+    /// until a [`commit`](Self::commit) releases them. `0` disables the
+    /// ceiling (the default).
+    pub fn set_dirty_ceiling(&self, ceiling: u64) {
+        self.pool.set_dirty_ceiling(ceiling)
+    }
+
+    /// Currently dirty (uncommitted) pages pinned in the buffer pool.
+    pub fn dirty_pages(&self) -> u64 {
+        self.pool.dirty_pages()
     }
 
     /// Worker threads the corner fan-out should use (≥ 1).
@@ -517,6 +565,81 @@ impl SharedStore {
     pub fn validate(&self) -> Result<()> {
         self.pool.validate()?;
         self.nodes.validate()
+    }
+}
+
+/// An immutable view of a [`SharedStore`] pinned to one commit epoch
+/// (see [`SharedStore::snapshot`]). Reads through it are repeatable —
+/// every page shows the bytes the pinned commit left, with writers and
+/// committers running concurrently — and never block on a commit's log
+/// or data fsync. The pin is released on drop.
+#[derive(Debug)]
+pub struct StoreSnapshot {
+    store: SharedStore,
+    epoch: u64,
+}
+
+impl StoreSnapshot {
+    /// The pinned commit epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The underlying store (live, not pinned — reads through it see
+    /// current bytes).
+    pub fn store(&self) -> &SharedStore {
+        &self.store
+    }
+
+    /// Runs `f` over the contents of page `id` as of the pinned epoch.
+    ///
+    /// Like [`SharedStore::with_page`], `f` runs under pool locks and
+    /// must not access the store (or this snapshot) again.
+    pub fn with_page<T>(&self, id: PageId, f: impl FnOnce(&[u8]) -> T) -> Result<T> {
+        self.store.pool.with_page_at(id, self.epoch, f)
+    }
+
+    /// Reads page `id` as a decoded node of type `N`, as of the pinned
+    /// epoch.
+    ///
+    /// Unlike [`SharedStore::read_node`] this never consults the
+    /// decoded-node cache: cache entries are keyed to a page's
+    /// *current* bytes by the generation protocol, while a snapshot
+    /// may be reading a superseded image.
+    pub fn read_node<N, F>(&self, id: PageId, decode: F) -> Result<Arc<N>>
+    where
+        N: Any + Send + Sync,
+        F: FnOnce(&[u8]) -> Result<N>,
+    {
+        Ok(Arc::new(
+            self.store.pool.with_page_at(id, self.epoch, decode)??,
+        ))
+    }
+
+    /// Looks up a named root in the superblock catalog *as of the
+    /// pinned epoch* — the root a query must traverse to see exactly
+    /// the pinned commit's tree. `Ok(None)` for a name not in the
+    /// catalog at that epoch (or for a store whose page 0 was never
+    /// formatted).
+    pub fn root(&self, name: &str) -> Result<Option<RootEntry>> {
+        let payload = self.with_page(PageId(0), |d| d.to_vec())?;
+        if payload.iter().all(|&b| b == 0) {
+            return Ok(None);
+        }
+        let sb = Superblock::decode(&payload)?;
+        Ok(sb.root(name).cloned())
+    }
+
+    /// I/O statistics of the underlying store (snapshot reads count
+    /// like any other page access).
+    pub fn stats(&self) -> IoStats {
+        self.store.stats()
+    }
+}
+
+impl Drop for StoreSnapshot {
+    fn drop(&mut self) {
+        self.store.pool.unpin_snapshot(self.epoch);
     }
 }
 
@@ -659,6 +782,61 @@ mod tests {
         s.reset_stats();
         assert_eq!(s.stats().total(), 0);
         assert_eq!(s.with_page(id, |d| d[0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn snapshots_require_the_wal_protocol() {
+        let s = SharedStore::open(&StoreConfig::small(128, 4)).unwrap();
+        let err = s.snapshot().unwrap_err();
+        assert!(err.to_string().contains("snapshots"), "got: {err}");
+    }
+
+    fn entry_at(root: PageId, len: u64) -> RootEntry {
+        RootEntry {
+            root,
+            len,
+            dims: 1,
+            max_value_size: 8,
+            kind: crate::superblock::RootKind::BaTree,
+            bounds: vec![(0.0, 1.0)],
+        }
+    }
+
+    #[test]
+    fn snapshot_pins_roots_and_pages_across_commits() {
+        let s = SharedStore::open(&StoreConfig::small(256, 8).with_wal(true)).unwrap();
+        let a = s.allocate().unwrap();
+        s.write_page(a, &[1; 8]).unwrap();
+        s.set_root("tree", entry_at(a, 1)).unwrap();
+        s.commit().unwrap();
+
+        let snap = s.snapshot().unwrap();
+        assert_eq!(snap.epoch(), s.commit_epoch());
+
+        // Move the root to a new page and commit: the snapshot keeps
+        // both the old catalog entry and the old page image.
+        let b = s.allocate().unwrap();
+        s.write_page(b, &[2; 8]).unwrap();
+        s.write_page(a, &[9; 8]).unwrap();
+        s.set_root("tree", entry_at(b, 2)).unwrap();
+        s.commit().unwrap();
+
+        let live = s.root("tree").unwrap().expect("live root");
+        assert_eq!(live.root, b);
+        let pinned = snap.root("tree").unwrap().expect("pinned root");
+        assert_eq!(pinned.root, a);
+        assert_eq!(snap.with_page(a, |d| d[0]).unwrap(), 1);
+        assert_eq!(s.with_page(a, |d| d[0]).unwrap(), 9);
+
+        // A snapshot taken now sees the new state; decoded reads on
+        // the old snapshot bypass the node cache.
+        let snap2 = s.snapshot().unwrap();
+        assert_eq!(snap2.root("tree").unwrap().expect("root").root, b);
+        let n = snap.read_node(a, |d| Ok(d[0])).unwrap();
+        assert_eq!(*n, 1);
+        drop(snap);
+        drop(snap2);
+        s.validate().unwrap();
     }
 
     #[test]

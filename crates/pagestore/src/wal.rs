@@ -55,6 +55,37 @@ const TAG_BEGIN: u8 = 1;
 const TAG_PAGE: u8 = 2;
 const TAG_COMMIT: u8 = 3;
 
+/// A standalone handle onto a pager's write-ahead log.
+///
+/// [`Pager::split_wal`](crate::pager::Pager::split_wal) detaches one of
+/// these so the buffer pool can run the log phase of a commit *without*
+/// holding the pager mutex: log appends and `sync`s go through the
+/// handle (rank `WAL_IO`, above the pager in the rank table) while
+/// cache-miss readers keep taking the pager lock underneath. The handle
+/// and the pager's own `wal_*` methods address the same byte stream;
+/// the pool guarantees they are never used concurrently (all log
+/// traffic goes through exactly one of the two routes, and recovery
+/// runs before the pool exists).
+///
+/// Semantics mirror the pager's `wal_*` family: `append` extends the
+/// log atomically-or-rolls-back, `rollback(len)` truncates back to a
+/// previously observed length (a no-op past the end), `truncate`
+/// empties the log, and `len` is a metadata peek with no I/O
+/// side-effects worth accounting.
+#[allow(clippy::len_without_is_empty)] // `len` is a fallible metadata peek, not a container length
+pub trait WalFile: Send {
+    /// Appends raw bytes to the end of the log.
+    fn append(&mut self, bytes: &[u8]) -> Result<()>;
+    /// Forces appended bytes to durable storage.
+    fn sync(&mut self) -> Result<()>;
+    /// Current length of the log in bytes.
+    fn len(&mut self) -> Result<u64>;
+    /// Truncates the log back to `len` bytes (no-op if already shorter).
+    fn rollback(&mut self, len: u64) -> Result<()>;
+    /// Empties the log.
+    fn truncate(&mut self) -> Result<()>;
+}
+
 fn frame(body: &[u8]) -> Vec<u8> {
     let mut w = ByteWriter::with_capacity(body.len() + 12);
     w.put_u32(body.len() as u32);

@@ -299,7 +299,11 @@ fn failed_append_during_retry_keeps_log_decodable() {
     let report = recovered.recovery_report();
     assert_eq!(report.txns_replayed, 2, "both committed txns replayed");
     for &id in &ids {
-        let want = if id == ids[0] { 0xEE } else { 0xA0 ^ id.0 as u8 };
+        let want = if id == ids[0] {
+            0xEE
+        } else {
+            0xA0 ^ id.0 as u8
+        };
         assert_eq!(recovered.with_page(id, |d| d[0]).unwrap(), want);
     }
     recovered.validate().unwrap();

@@ -1,6 +1,8 @@
 //! Tier-1 crash sweeps: simulated process death at every pager
 //! operation of a two-transaction workload, for both index schemes and
-//! both kill flavors (clean error and torn write). See
+//! both kill flavors (clean error and torn write), plus a grouped-commit
+//! variant in which transaction 2 is committed by two threads batched
+//! into one WAL append. See
 //! `boxagg_bench::crashsweep` for the driver and the recovery
 //! properties asserted per kill position — most importantly that the
 //! reopened store is always bit-identical to a committed state, never
@@ -42,6 +44,20 @@ fn batree_exhaustive_crash_sweep() {
 #[test]
 fn ecdfb_exhaustive_crash_sweep() {
     assert_exhaustive(&CrashConfig::small(SweepScheme::EcdfB));
+}
+
+#[test]
+fn batree_exhaustive_grouped_commit_sweep() {
+    // Two committers race on transaction 2: a leader parked mid-fsync
+    // and a follower grouped behind it with zero I/O of its own. The op
+    // stream must match the serial schedule, so the exhaustive sweep
+    // keeps its strict boundary guarantees.
+    assert_exhaustive(&CrashConfig::small_grouped(SweepScheme::BaTree));
+}
+
+#[test]
+fn ecdfb_exhaustive_grouped_commit_sweep() {
+    assert_exhaustive(&CrashConfig::small_grouped(SweepScheme::EcdfB));
 }
 
 #[test]
