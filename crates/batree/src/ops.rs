@@ -643,7 +643,7 @@ pub(crate) fn split_subtree<V: AggValue>(
 /// ("the BA-tree partitions the index page by alternating directions",
 /// §5).
 fn choose_split<V: AggValue>(
-    params: &BaParams,
+    _params: &BaParams,
     dim: usize,
     space: &Rect,
     rect: &Rect,
@@ -677,7 +677,6 @@ fn choose_split<V: AggValue>(
             unreachable!("leaf entries are distinct points; some dimension separates them");
         }
         Node::Index(records) => {
-            let _ = params;
             let mut best: Option<(usize, f64, usize, f64)> = None; // (j, m, max_side, -norm)
             for j in 0..dim {
                 let mut cands: Vec<f64> = Vec::with_capacity(records.len() * 2);

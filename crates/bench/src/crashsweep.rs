@@ -230,7 +230,9 @@ impl WalFile for ParkWal {
                 // The driver holds both channel ends; a send/recv can
                 // only fail if it panicked, which already fails the
                 // sweep.
+                // lint: allow(discarded-result) -- a dead driver already failed the sweep
                 let _ = signal.send(());
+                // lint: allow(discarded-result) -- same as the send above.
                 let _ = resume.recv();
             }
         }
@@ -405,16 +407,19 @@ fn commit_grouped(store: &SharedStore, park: &ParkHandle) -> Result<()> {
         std::thread::spawn(move || {
             let r = s.commit();
             // Unblocks the driver when a kill fired before the park.
+            // lint: allow(discarded-result) -- the driver may have moved on.
             let _ = death.send(());
             r
         })
     };
     // Either the leader is now parked mid-fsync, or it died first.
+    // lint: allow(discarded-result) -- a disconnect means the leader died; the join below reports it
     let _ = park.parked.recv();
     let (started_tx, started_rx) = std::sync::mpsc::channel();
     let follower = {
         let s = store.clone();
         std::thread::spawn(move || {
+            // lint: allow(discarded-result) -- the driver outlives this send.
             let _ = started_tx.send(());
             s.commit()
         })
@@ -423,8 +428,10 @@ fn commit_grouped(store: &SharedStore, park: &ParkHandle) -> Result<()> {
     // samples the group-commit state on entry, then blocks on the
     // commit lock the parked leader holds). The sleep is margin for a
     // preemption between the follower's signal and that sample.
+    // lint: allow(discarded-result) -- a disconnect means the follower died; the join below reports it
     let _ = started_rx.recv();
     std::thread::sleep(std::time::Duration::from_micros(200));
+    // lint: allow(discarded-result) -- the leader may have died unparked.
     let _ = park.resume.send(());
     let lr = leader.join().expect("leader thread");
     let fr = follower.join().expect("follower thread");

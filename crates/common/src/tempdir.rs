@@ -36,6 +36,7 @@ impl TempDir {
 
 impl Drop for TempDir {
     fn drop(&mut self) {
+        // lint: allow(discarded-result) -- Drop cleanup is best-effort; must not panic while unwinding
         let _ = std::fs::remove_dir_all(&self.path);
     }
 }

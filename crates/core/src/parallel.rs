@@ -114,6 +114,7 @@ impl WorkerPool {
             let f = Arc::clone(&f);
             let tx = tx.clone();
             self.execute(move || {
+                // lint: allow(discarded-result) -- send fails only if the collector hung up after a panic
                 let _ = tx.send((i, f(i)));
             });
         }
@@ -127,6 +128,7 @@ impl Drop for WorkerPool {
         // Disconnect the channel so workers drain the queue and exit.
         self.sender.take();
         for w in self.workers.drain(..) {
+            // lint: allow(discarded-result) -- a panicked worker already surfaced via its result channel
             let _ = w.join();
         }
     }

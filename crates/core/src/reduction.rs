@@ -233,6 +233,7 @@ impl<I: DominanceSumIndex<f64>> CornerBoxSum<I> {
                 let tx = tx.clone();
                 pool.execute(move || {
                     let term = idx.dominance_sum(&y);
+                    // lint: allow(discarded-result) -- send fails only if the collector hung up after a panic
                     let _ = tx.send((mask, (idx, term)));
                 });
             }

@@ -22,7 +22,10 @@
 //!   sweep run as ordinary tests, so `cargo test` is the single gate;
 //! * `boxagg-lint <paths>` — lint specific files or directories.
 
+mod graph;
 pub mod lexer;
+mod parser;
+pub mod report;
 pub mod rules;
 
 use std::fmt;
@@ -48,7 +51,11 @@ impl fmt::Display for FileFinding {
             self.finding.line,
             self.finding.rule,
             self.finding.message
-        )
+        )?;
+        for (i, frame) in self.finding.chain.iter().enumerate() {
+            write!(f, "\n    {}. {}", i + 1, frame)?;
+        }
+        Ok(())
     }
 }
 
@@ -73,6 +80,26 @@ pub fn crate_of(path: &Path) -> String {
 /// rules from `crates/lint/tests/fixtures/`.
 pub fn lint_source(path: &Path, src: &str) -> Vec<FileFinding> {
     let scanned = lexer::scan(src);
+    let mut findings = token_rules(path, &scanned);
+    // Single-file inter-procedural pass: fixtures and ad-hoc file
+    // lints get R7–R9 over whatever call graph the one file contains.
+    let graph = graph::analyze(&[(path, &scanned)], None)
+        .into_iter()
+        .map(|(_, f)| f)
+        .collect();
+    findings.extend(
+        rules::suppress(graph, &scanned.allows)
+            .into_iter()
+            .map(|finding| FileFinding {
+                path: path.to_path_buf(),
+                finding,
+            }),
+    );
+    findings
+}
+
+/// The per-file token rules (R1–R6) with allow-directives applied.
+fn token_rules(path: &Path, scanned: &lexer::Scanned) -> Vec<FileFinding> {
     let crate_name = scanned
         .crate_override
         .clone()
@@ -82,7 +109,7 @@ pub fn lint_source(path: &Path, src: &str) -> Vec<FileFinding> {
         .map(|n| n.to_string_lossy().into_owned())
         .unwrap_or_default();
     rules::check(
-        &scanned,
+        scanned,
         rules::FileContext {
             crate_name: &crate_name,
             file_name: &file_name,
@@ -145,12 +172,43 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 }
 
 /// Lints every workspace source under `root`, returning all findings.
+///
+/// The per-file token rules run file by file; the inter-procedural
+/// analysis (R7–R9 and rank-drift) runs once over the whole workspace
+/// so call chains cross crate boundaries, with DESIGN.md (when
+/// present) feeding the rank-table cross-check.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<FileFinding>> {
-    let mut out = Vec::new();
+    let mut sources = Vec::new();
     for path in workspace_sources(root)? {
         let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
         let src = std::fs::read_to_string(&path)?;
-        out.extend(lint_source(&rel, &src));
+        sources.push((rel, lexer::scan(&src)));
+    }
+
+    let mut out = Vec::new();
+    for (rel, scanned) in &sources {
+        out.extend(token_rules(rel, scanned));
+    }
+
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).ok();
+    let inputs: Vec<(&Path, &lexer::Scanned)> = sources
+        .iter()
+        .map(|(rel, scanned)| (rel.as_path(), scanned))
+        .collect();
+    let mut per_file: Vec<Vec<rules::Finding>> = vec![Vec::new(); sources.len()];
+    for (fi, finding) in graph::analyze(&inputs, design.as_deref()) {
+        per_file[fi].push(finding);
+    }
+    for (fi, raw) in per_file.into_iter().enumerate() {
+        let (rel, scanned) = &sources[fi];
+        out.extend(
+            rules::suppress(raw, &scanned.allows)
+                .into_iter()
+                .map(|finding| FileFinding {
+                    path: rel.clone(),
+                    finding,
+                }),
+        );
     }
     Ok(out)
 }

@@ -1,27 +1,33 @@
 #![forbid(unsafe_code)]
 
 //! `boxagg-lint` — lint the workspace (or specific paths) against the
-//! repository rules R1–R5.
+//! repository rules.
 //!
 //! ```text
-//! boxagg-lint [--deny-all] [--root DIR] [PATH...]
+//! boxagg-lint [--deny-all] [--report FILE] [--root DIR] [PATH...]
 //! ```
 //!
 //! With no `PATH`s, walks `crates/*/src/**/*.rs` and `src/**/*.rs`
 //! under `--root` (default: the workspace containing this binary's
-//! manifest, falling back to the current directory). Exits non-zero if
-//! any rule fires. `--deny-all` is the explicit CI spelling of the
-//! default deny-everything behavior.
+//! manifest, falling back to the current directory) and runs the
+//! inter-procedural R7–R9 pass over the whole workspace at once. Exits
+//! non-zero if any rule fires. `--deny-all` is the explicit CI spelling
+//! of the default deny-everything behavior. `--report FILE` writes the
+//! machine-readable `lint-report.json` document (findings with call
+//! chains plus a per-rule summary) before the exit code is decided, so
+//! CI uploads a report whether the run passes or fails.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use boxagg_lint::{lint_file, lint_workspace, FileFinding, RULE_KEYS};
+use boxagg_lint::{lint_file, lint_workspace, report, FileFinding, RULE_KEYS};
 
-const USAGE: &str = "usage: boxagg-lint [--deny-all] [--list-rules] [--root DIR] [PATH...]";
+const USAGE: &str =
+    "usage: boxagg-lint [--deny-all] [--list-rules] [--report FILE] [--root DIR] [PATH...]";
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -38,6 +44,16 @@ fn main() -> ExitCode {
                 i += 1;
                 match argv.get(i) {
                     Some(dir) => root = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--report" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(file) => report_path = Some(PathBuf::from(file)),
                     None => {
                         eprintln!("{USAGE}");
                         return ExitCode::from(2);
@@ -70,6 +86,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = &report_path {
+        if let Err(e) = std::fs::write(path, report::render(&findings)) {
+            eprintln!("boxagg-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
     for f in &findings {
         println!("{f}");
     }

@@ -1,0 +1,1022 @@
+//! Item-level parsing on top of the token scanner.
+//!
+//! Extracts the model the inter-procedural analysis ([`crate::graph`])
+//! is built from: `fn` items with signatures and body spans, struct
+//! fields, lock-construction sites with the rank constant at each site,
+//! and top-level integer consts.
+//!
+//! This is not a full Rust parser. It is a structural walker over the
+//! token stream that understands just enough of the item grammar —
+//! `impl`/`trait`/`mod` nesting, generics, where-clauses, attribute
+//! skipping — to recover names, types and body extents reliably for the
+//! code styles used in this workspace. Known approximations are
+//! documented inline and in DESIGN.md §7.
+
+use std::ops::Range;
+
+use crate::lexer::{Scanned, Token, TokenKind};
+use crate::rules::{parse_attribute, test_spans};
+
+/// A function item: free fn, inherent or trait-impl method, or trait
+/// default method. Bodyless trait method declarations are not recorded.
+#[derive(Debug, Clone)]
+pub(crate) struct FnItem {
+    /// Function name.
+    pub(crate) name: String,
+    /// Base name of the surrounding `impl` type — or of the trait, for
+    /// a default method in a `trait` block.
+    pub(crate) self_ty: Option<String>,
+    /// Trait name when the fn lives in an `impl Trait for Type` block.
+    pub(crate) trait_impl: Option<String>,
+    /// `(binding, rendered type)` per parameter. A `self` receiver is
+    /// recorded as `("self", <impl type>)`.
+    pub(crate) params: Vec<(String, String)>,
+    /// Rendered return type, when declared.
+    pub(crate) ret: Option<String>,
+    /// Token-index range of the body, excluding the outer braces.
+    pub(crate) body: Range<usize>,
+    /// 1-based line of the `fn` keyword.
+    pub(crate) line: u32,
+    /// Whether the fn sits inside a `#[cfg(test)]` / `#[test]` span.
+    pub(crate) is_test: bool,
+}
+
+/// A struct definition with its field types (tuple fields are named
+/// `"0"`, `"1"`, …), used for receiver-chain typing.
+#[derive(Debug, Clone)]
+pub(crate) struct StructItem {
+    /// Struct name.
+    pub(crate) name: String,
+    /// `(field name, rendered type)` pairs.
+    pub(crate) fields: Vec<(String, String)>,
+}
+
+/// The rank argument at a lock-construction site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum RankExpr {
+    /// A named constant (`rank::SHARD`, bare `SHARD`).
+    Const(String),
+    /// A literal number.
+    Value(u64),
+    /// Anything the parser could not reduce to a constant.
+    Unknown,
+}
+
+/// One `RankedMutex::new(...)` / `RankedRwLock::new(...)` call.
+#[derive(Debug, Clone)]
+pub(crate) struct LockSite {
+    /// The binding the lock value flows into — a `let` name, a struct
+    /// literal field, or an assigned field — when attributable.
+    pub(crate) binding: Option<String>,
+    /// The rank argument.
+    pub(crate) rank: RankExpr,
+    /// Whether the site constructs a `RankedRwLock`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) rwlock: bool,
+    /// 1-based line of the construction.
+    pub(crate) line: u32,
+    /// Whether the site sits inside a test span.
+    pub(crate) in_test: bool,
+}
+
+/// A `const NAME: T = <integer literal>;` item (top level or in an
+/// `impl`/`mod` body — never inside a fn body, so the rank-drift check
+/// sees declarations only).
+#[derive(Debug, Clone)]
+pub(crate) struct ConstItem {
+    /// Constant name.
+    pub(crate) name: String,
+    /// The literal value when it is a single integer literal.
+    pub(crate) value: Option<u64>,
+    /// 1-based line of the declaration.
+    pub(crate) line: u32,
+    /// Whether the const sits inside a test span.
+    pub(crate) in_test: bool,
+}
+
+/// Everything extracted from one source file.
+#[derive(Debug, Default)]
+pub(crate) struct ParsedFile {
+    /// Function items in source order.
+    pub(crate) fns: Vec<FnItem>,
+    /// Struct definitions.
+    pub(crate) structs: Vec<StructItem>,
+    /// Lock-construction sites.
+    pub(crate) locks: Vec<LockSite>,
+    /// Integer consts.
+    pub(crate) consts: Vec<ConstItem>,
+}
+
+/// Parses a scanned file into its item model.
+pub(crate) fn parse(scanned: &Scanned) -> ParsedFile {
+    let tokens = &scanned.tokens;
+    let spans = test_spans(tokens);
+    let mut w = Walker {
+        tokens,
+        spans: &spans,
+        out: ParsedFile::default(),
+    };
+    w.walk_items(0..tokens.len(), None);
+    w.out.locks = find_locks(tokens, &spans);
+    w.out
+}
+
+/// Context while walking an `impl` or `trait` body.
+#[derive(Debug, Clone)]
+struct ImplCtx {
+    self_ty: String,
+    trait_impl: Option<String>,
+}
+
+struct Walker<'a> {
+    tokens: &'a [Token],
+    spans: &'a [Range<usize>],
+    out: ParsedFile,
+}
+
+impl Walker<'_> {
+    fn in_test(&self, idx: usize) -> bool {
+        self.spans.iter().any(|r| r.contains(&idx))
+    }
+
+    fn walk_items(&mut self, range: Range<usize>, ctx: Option<&ImplCtx>) {
+        let mut i = range.start;
+        while i < range.end {
+            if let Some((end, _)) = parse_attribute(self.tokens, i) {
+                i = end;
+                continue;
+            }
+            let Some(id) = self.tokens[i].ident() else {
+                i += 1;
+                continue;
+            };
+            i = match id {
+                "fn" => self.parse_fn(i, ctx),
+                "impl" => self.parse_impl(i, range.end),
+                "trait" => self.parse_trait(i, range.end),
+                "struct" => self.parse_struct(i, range.end),
+                "enum" | "union" => skip_item(self.tokens, i, range.end),
+                "mod" => self.parse_mod(i, range.end, ctx),
+                "const" | "static" => self.parse_const(i, range.end),
+                "use" | "type" | "extern" | "macro_rules" => skip_item(self.tokens, i, range.end),
+                // Qualifiers and anything else: step over.
+                _ => i + 1,
+            };
+        }
+    }
+
+    /// Parses `fn name<...>(params) -> Ret where ... { body }` starting
+    /// at the `fn` keyword; returns the index after the item. Also
+    /// registers nested fns found inside the body.
+    fn parse_fn(&mut self, i: usize, ctx: Option<&ImplCtx>) -> usize {
+        let tokens = self.tokens;
+        let Some(name) = tokens.get(i + 1).and_then(Token::ident) else {
+            return i + 1;
+        };
+        let mut j = i + 2;
+        if tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+            j = skip_angles(tokens, j);
+        }
+        if !tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+            return i + 1;
+        }
+        let params_end = skip_group(tokens, j, '(', ')');
+        let self_ty = ctx.map(|c| c.self_ty.clone());
+        let params = parse_params(
+            &tokens[j + 1..params_end.saturating_sub(1)],
+            self_ty.as_deref().unwrap_or("Self"),
+        );
+        j = params_end;
+        // Return type: `-> Type` up to `{`, `;`, or `where`.
+        let mut ret = None;
+        if tokens.get(j).is_some_and(|t| t.is_punct('-'))
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct('>'))
+        {
+            let start = j + 2;
+            let mut k = start;
+            while k < tokens.len()
+                && !tokens[k].is_punct('{')
+                && !tokens[k].is_punct(';')
+                && !tokens[k].is_ident("where")
+            {
+                k += 1;
+            }
+            ret = Some(render_type(&tokens[start..k]));
+            j = k;
+        }
+        while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+            j += 1;
+        }
+        if j >= tokens.len() || tokens[j].is_punct(';') {
+            // Bodyless trait method declaration: nothing to analyze.
+            return j.saturating_add(1).min(tokens.len());
+        }
+        let close = skip_group(tokens, j, '{', '}');
+        let body = j + 1..close.saturating_sub(1);
+        self.out.fns.push(FnItem {
+            name: name.to_string(),
+            self_ty,
+            trait_impl: ctx.and_then(|c| c.trait_impl.clone()),
+            params,
+            ret,
+            body: body.clone(),
+            line: tokens[i].line,
+            is_test: self.in_test(i),
+        });
+        // Nested fns: register them too (they are callable by name).
+        let mut k = body.start;
+        while k < body.end {
+            if self.tokens[k].is_ident("fn")
+                && self.tokens.get(k + 1).and_then(Token::ident).is_some()
+                && self
+                    .tokens
+                    .get(k + 2)
+                    .is_some_and(|t| t.is_punct('(') || t.is_punct('<'))
+            {
+                k = self.parse_fn(k, None);
+            } else {
+                k += 1;
+            }
+        }
+        close
+    }
+
+    /// Parses `impl<...> [Trait for] Type { ... }`.
+    fn parse_impl(&mut self, i: usize, end: usize) -> usize {
+        let tokens = self.tokens;
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+            j = skip_angles(tokens, j);
+        }
+        let (first, mut j) = parse_type_path(tokens, j, end);
+        let mut trait_impl = None;
+        let mut self_ty = first;
+        if tokens.get(j).is_some_and(|t| t.is_ident("for")) {
+            let (second, j2) = parse_type_path(tokens, j + 1, end);
+            trait_impl = self_ty.take();
+            self_ty = second;
+            j = j2;
+        }
+        while j < end && !tokens[j].is_punct('{') {
+            j += 1;
+        }
+        if j >= end {
+            return end;
+        }
+        let close = skip_group(tokens, j, '{', '}');
+        if let Some(self_ty) = self_ty {
+            let ctx = ImplCtx {
+                self_ty,
+                trait_impl,
+            };
+            self.walk_items(j + 1..close.saturating_sub(1), Some(&ctx));
+        }
+        close
+    }
+
+    /// Parses `trait Name { ... }`; default methods register as fns
+    /// whose `self_ty` is the trait name.
+    fn parse_trait(&mut self, i: usize, end: usize) -> usize {
+        let tokens = self.tokens;
+        let Some(name) = tokens.get(i + 1).and_then(Token::ident) else {
+            return i + 1;
+        };
+        let mut j = i + 2;
+        while j < end && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+            j += 1;
+        }
+        if j >= end || tokens[j].is_punct(';') {
+            return (j + 1).min(end);
+        }
+        let close = skip_group(tokens, j, '{', '}');
+        let ctx = ImplCtx {
+            self_ty: name.to_string(),
+            trait_impl: None,
+        };
+        self.walk_items(j + 1..close.saturating_sub(1), Some(&ctx));
+        close
+    }
+
+    /// Parses `struct Name { fields }` / `struct Name(types);` /
+    /// `struct Name;`.
+    fn parse_struct(&mut self, i: usize, end: usize) -> usize {
+        let tokens = self.tokens;
+        let Some(name) = tokens.get(i + 1).and_then(Token::ident) else {
+            return i + 1;
+        };
+        let mut j = i + 2;
+        if tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+            j = skip_angles(tokens, j);
+        }
+        // A where-clause may precede the body.
+        while j < end
+            && !tokens[j].is_punct('{')
+            && !tokens[j].is_punct('(')
+            && !tokens[j].is_punct(';')
+        {
+            j += 1;
+        }
+        let mut fields = Vec::new();
+        let after = if j < end && tokens[j].is_punct('(') {
+            let close = skip_group(tokens, j, '(', ')');
+            for (n, part) in split_top_commas(&tokens[j + 1..close.saturating_sub(1)]).enumerate() {
+                let part = strip_vis(part);
+                if !part.is_empty() {
+                    fields.push((n.to_string(), render_type(part)));
+                }
+            }
+            // Trailing `;`.
+            (close + 1).min(end)
+        } else if j < end && tokens[j].is_punct('{') {
+            let close = skip_group(tokens, j, '{', '}');
+            for part in split_top_commas(&tokens[j + 1..close.saturating_sub(1)]) {
+                let part = strip_attrs(strip_vis(part));
+                // `name: Type` — find the first top-level `:`.
+                let Some(colon) = find_top_colon(part) else {
+                    continue;
+                };
+                let Some(fname) = part[..colon].last().and_then(Token::ident) else {
+                    continue;
+                };
+                fields.push((fname.to_string(), render_type(&part[colon + 1..])));
+            }
+            close
+        } else {
+            (j + 1).min(end)
+        };
+        self.out.structs.push(StructItem {
+            name: name.to_string(),
+            fields,
+        });
+        after
+    }
+
+    fn parse_mod(&mut self, i: usize, end: usize, ctx: Option<&ImplCtx>) -> usize {
+        let tokens = self.tokens;
+        let mut j = i + 1;
+        while j < end && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+            j += 1;
+        }
+        if j >= end || tokens[j].is_punct(';') {
+            return (j + 1).min(end);
+        }
+        let close = skip_group(tokens, j, '{', '}');
+        self.walk_items(j + 1..close.saturating_sub(1), ctx);
+        close
+    }
+
+    /// Parses `const NAME: T = <int literal>;` (also `static`). `const
+    /// fn` is a function qualifier, not a const item.
+    fn parse_const(&mut self, i: usize, end: usize) -> usize {
+        let tokens = self.tokens;
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|t| t.is_ident("fn")) {
+            return j; // `const fn ...` — let the walker parse the fn.
+        }
+        if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name) = tokens.get(j).and_then(Token::ident) else {
+            return i + 1;
+        };
+        let mut k = j + 1;
+        let mut value_start = None;
+        while k < end && !tokens[k].is_punct(';') {
+            if tokens[k].is_punct('=') && value_start.is_none() {
+                value_start = Some(k + 1);
+            }
+            if tokens[k].is_punct('{') {
+                // Block initializer: skip it whole.
+                k = skip_group(tokens, k, '{', '}');
+                continue;
+            }
+            k += 1;
+        }
+        let value = value_start.and_then(|s| {
+            let vals = &tokens[s..k.min(end)];
+            match vals {
+                [t] => t.number().and_then(parse_int),
+                _ => None,
+            }
+        });
+        self.out.consts.push(ConstItem {
+            name: name.to_string(),
+            value,
+            line: tokens[i].line,
+            in_test: self.in_test(i),
+        });
+        (k + 1).min(end)
+    }
+}
+
+/// Parses an integer literal's text: decimal or `0x` hex, `_`
+/// separators and type suffixes tolerated.
+pub(crate) fn parse_int(text: &str) -> Option<u64> {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        let digits: String = hex.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+        return u64::from_str_radix(&digits, 16).ok();
+    }
+    let digits: String = t.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Skips a balanced `open`…`close` group; `i` is on `open`. Returns the
+/// index just past the matching `close`.
+pub(crate) fn skip_group(tokens: &[Token], i: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < tokens.len() {
+        if tokens[j].is_punct(open) {
+            depth += 1;
+        } else if tokens[j].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Skips a balanced generics group; `i` is on `<`. A `>` that closes a
+/// `->` arrow (in `Fn(...) -> T` bounds) does not count.
+pub(crate) fn skip_angles(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0isize;
+    let mut j = i;
+    while j < tokens.len() {
+        if tokens[j].is_punct('<') {
+            depth += 1;
+        } else if tokens[j].is_punct('>') && !(j > 0 && tokens[j - 1].is_punct('-')) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Parses a type path (`Foo`, `a::b::Foo<T>`, `dyn Trait`) returning
+/// its base name — the last plain identifier outside generic args.
+fn parse_type_path(tokens: &[Token], mut j: usize, end: usize) -> (Option<String>, usize) {
+    let mut last = None;
+    while j < end {
+        match &tokens[j].kind {
+            TokenKind::Ident(s) => {
+                if s == "for" || s == "where" {
+                    break;
+                }
+                if s != "dyn" && s != "mut" {
+                    last = Some(s.clone());
+                }
+                j += 1;
+            }
+            TokenKind::Punct('<') => j = skip_angles(tokens, j),
+            TokenKind::Punct(':') if tokens.get(j + 1).is_some_and(|t| t.is_punct(':')) => j += 2,
+            TokenKind::Punct('&') | TokenKind::Lifetime => j += 1,
+            _ => break,
+        }
+    }
+    (last, j)
+}
+
+/// Splits a token slice at top-level commas (outside `()`/`[]`/`<>`).
+fn split_top_commas(tokens: &[Token]) -> impl Iterator<Item = &[Token]> {
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut group = 0isize;
+    let mut angle = 0isize;
+    for (i, t) in tokens.iter().enumerate() {
+        match &t.kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => group += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => group -= 1,
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') if angle > 0 && !(i > 0 && tokens[i - 1].is_punct('-')) => {
+                angle -= 1;
+            }
+            TokenKind::Punct(',') if group == 0 && angle == 0 => {
+                parts.push(&tokens[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < tokens.len() {
+        parts.push(&tokens[start..]);
+    }
+    parts.into_iter()
+}
+
+/// Strips a leading `pub` / `pub(crate)` / `pub(super)`.
+fn strip_vis(part: &[Token]) -> &[Token] {
+    if part.first().is_some_and(|t| t.is_ident("pub")) {
+        if part.get(1).is_some_and(|t| t.is_punct('(')) {
+            let end = skip_group(part, 1, '(', ')');
+            return &part[end..];
+        }
+        return &part[1..];
+    }
+    part
+}
+
+/// Strips leading `#[...]` attributes.
+fn strip_attrs(mut part: &[Token]) -> &[Token] {
+    while let Some((end, _)) = parse_attribute(part, 0) {
+        part = &part[end..];
+    }
+    part
+}
+
+/// Index of the first `:` that is not part of `::` and not nested.
+fn find_top_colon(part: &[Token]) -> Option<usize> {
+    let mut group = 0isize;
+    let mut angle = 0isize;
+    let mut i = 0;
+    while i < part.len() {
+        match &part[i].kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') => group += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => group -= 1,
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') => angle -= 1,
+            TokenKind::Punct(':') => {
+                if part.get(i + 1).is_some_and(|t| t.is_punct(':')) {
+                    i += 2;
+                    continue;
+                }
+                if group == 0 && angle == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses a fn parameter list (the tokens between the parens).
+fn parse_params(tokens: &[Token], self_ty: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for part in split_top_commas(tokens) {
+        let part = strip_attrs(part);
+        if part.is_empty() {
+            continue;
+        }
+        // A `self` receiver: `&self`, `&mut self`, `&'a self`, `self`.
+        let first_real = part.iter().find(|t| {
+            !t.is_punct('&') && !t.is_ident("mut") && !matches!(t.kind, TokenKind::Lifetime)
+        });
+        if first_real.is_some_and(|t| t.is_ident("self")) {
+            out.push(("self".to_string(), self_ty.to_string()));
+            continue;
+        }
+        let Some(colon) = find_top_colon(part) else {
+            continue;
+        };
+        let Some(name) = part[..colon]
+            .iter()
+            .rev()
+            .find_map(Token::ident)
+            .filter(|n| *n != "mut")
+        else {
+            continue;
+        };
+        out.push((name.to_string(), render_type(&part[colon + 1..])));
+    }
+    out
+}
+
+/// Renders a type's tokens to a canonical string: lifetimes dropped,
+/// single spaces between word tokens, punctuation verbatim.
+pub(crate) fn render_type(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        match &t.kind {
+            TokenKind::Lifetime => {}
+            TokenKind::Ident(s) => {
+                if out.ends_with(|c: char| c.is_ascii_alphanumeric() || c == '_') {
+                    out.push(' ');
+                }
+                out.push_str(s);
+            }
+            TokenKind::Number(n) => {
+                if out.ends_with(|c: char| c.is_ascii_alphanumeric() || c == '_') {
+                    out.push(' ');
+                }
+                out.push_str(n);
+            }
+            TokenKind::Punct(c) => out.push(*c),
+            TokenKind::Str { .. } | TokenKind::Char => {}
+        }
+    }
+    out
+}
+
+/// Skips an item the model does not need (`enum`, `use`, `type`,
+/// `macro_rules`, …): to the first `;` at top level or past the first
+/// balanced brace group, whichever comes first.
+fn skip_item(tokens: &[Token], i: usize, end: usize) -> usize {
+    let mut j = i + 1;
+    while j < end {
+        if tokens[j].is_punct(';') {
+            return j + 1;
+        }
+        if tokens[j].is_punct('{') {
+            return skip_group(tokens, j, '{', '}');
+        }
+        if tokens[j].is_punct('(') {
+            j = skip_group(tokens, j, '(', ')');
+            continue;
+        }
+        if tokens[j].is_punct('[') {
+            j = skip_group(tokens, j, '[', ']');
+            continue;
+        }
+        j += 1;
+    }
+    end
+}
+
+/// What a pending binding context attributes constructions to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CtxKind {
+    /// `let NAME = …;`
+    Let,
+    /// `name: …` inside a struct literal.
+    Field,
+    /// `recv.name = …;`
+    Assign,
+}
+
+#[derive(Debug)]
+struct BindCtx {
+    name: String,
+    kind: CtxKind,
+    brace: usize,
+    group: usize,
+}
+
+/// Finds every `RankedMutex::new` / `RankedRwLock::new` call, with the
+/// binding it flows into tracked by a forward binding-context stack:
+/// `let NAME = …` (closed at the `;` at the same depth), struct-literal
+/// field initializers `name: …` (closed at the `,` or `}` at the
+/// literal's depth), and field assignments `x.name = …`.
+fn find_locks(tokens: &[Token], spans: &[Range<usize>]) -> Vec<LockSite> {
+    let mut out = Vec::new();
+    let mut ctxs: Vec<BindCtx> = Vec::new();
+    // Brace depths at which a struct literal is open.
+    let mut literals: Vec<(usize, usize)> = Vec::new(); // (brace, group)
+    let mut brace = 0usize;
+    let mut group = 0usize;
+    let in_test = |idx: usize| spans.iter().any(|r| r.contains(&idx));
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match &t.kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') => group += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => group = group.saturating_sub(1),
+            TokenKind::Punct('{') => {
+                // A struct literal opens when the preceding token is an
+                // uppercase type name (or `Self`) that is not part of an
+                // item header (`impl Foo {`, `struct Foo {`, …).
+                if let Some(prev) = i.checked_sub(1).map(|p| &tokens[p]) {
+                    let uppercase = prev.ident().is_some_and(|s| {
+                        s == "Self" || s.chars().next().is_some_and(char::is_uppercase)
+                    });
+                    let header = i
+                        .checked_sub(2)
+                        .and_then(|p| tokens[p].ident())
+                        .is_some_and(|s| {
+                            matches!(
+                                s,
+                                "impl"
+                                    | "struct"
+                                    | "trait"
+                                    | "enum"
+                                    | "union"
+                                    | "mod"
+                                    | "for"
+                                    | "fn"
+                                    | "dyn"
+                                    | "in"
+                                    | "match"
+                            )
+                        });
+                    if uppercase && !header {
+                        literals.push((brace + 1, group));
+                    }
+                }
+                brace += 1;
+            }
+            TokenKind::Punct('}') => {
+                // Close field contexts and the literal opened here.
+                while ctxs
+                    .last()
+                    .is_some_and(|c| c.kind == CtxKind::Field && c.brace >= brace)
+                {
+                    ctxs.pop();
+                }
+                while literals.last().is_some_and(|&(b, _)| b >= brace) {
+                    literals.pop();
+                }
+                brace = brace.saturating_sub(1);
+            }
+            TokenKind::Punct(';') => {
+                while ctxs.last().is_some_and(|c| {
+                    matches!(c.kind, CtxKind::Let | CtxKind::Assign)
+                        && c.brace == brace
+                        && c.group == group
+                }) {
+                    ctxs.pop();
+                }
+            }
+            TokenKind::Punct(',')
+                if ctxs.last().is_some_and(|c| {
+                    c.kind == CtxKind::Field && c.brace == brace && c.group == group
+                }) =>
+            {
+                ctxs.pop();
+            }
+            TokenKind::Ident(id) if id == "let" => {
+                let mut j = i + 1;
+                if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+                    j += 1;
+                }
+                if let Some(name) = tokens.get(j).and_then(Token::ident) {
+                    ctxs.push(BindCtx {
+                        name: name.to_string(),
+                        kind: CtxKind::Let,
+                        brace,
+                        group,
+                    });
+                }
+            }
+            TokenKind::Ident(id)
+                if (id == "RankedMutex" || id == "RankedRwLock")
+                    && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && tokens.get(i + 3).is_some_and(|t| t.is_ident("new"))
+                    && tokens.get(i + 4).is_some_and(|t| t.is_punct('(')) =>
+            {
+                let rank = parse_rank_arg(tokens, i + 5);
+                let binding = ctxs.last().map(|c| c.name.clone());
+                out.push(LockSite {
+                    binding,
+                    rank,
+                    rwlock: id == "RankedRwLock",
+                    line: t.line,
+                    in_test: in_test(i),
+                });
+            }
+            TokenKind::Ident(_) => {
+                // Struct-literal field initializer: `name:` in field
+                // position (after `{` or `,`) inside an open literal.
+                if literals
+                    .last()
+                    .is_some_and(|&(b, g)| b == brace && g == group)
+                    && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && !tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && i.checked_sub(1)
+                        .is_some_and(|p| tokens[p].is_punct('{') || tokens[p].is_punct(','))
+                {
+                    ctxs.push(BindCtx {
+                        name: t.ident().unwrap_or_default().to_string(),
+                        kind: CtxKind::Field,
+                        brace,
+                        group,
+                    });
+                }
+                // Field assignment: `.name =` (not `==`).
+                if i.checked_sub(1).is_some_and(|p| tokens[p].is_punct('.'))
+                    && tokens.get(i + 1).is_some_and(|t| t.is_punct('='))
+                    && !tokens.get(i + 2).is_some_and(|t| t.is_punct('='))
+                {
+                    ctxs.push(BindCtx {
+                        name: t.ident().unwrap_or_default().to_string(),
+                        kind: CtxKind::Assign,
+                        brace,
+                        group,
+                    });
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses the first argument of a lock constructor: `rank::NAME`, a
+/// bare `SCREAMING_CASE` const, a path ending in such a const, or a
+/// literal number.
+fn parse_rank_arg(tokens: &[Token], start: usize) -> RankExpr {
+    // Collect the first argument's tokens (to the first `,` at the
+    // argument depth).
+    let mut group = 0isize;
+    let mut arg = Vec::new();
+    let mut j = start;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') => group += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                if group == 0 {
+                    break;
+                }
+                group -= 1;
+            }
+            TokenKind::Punct(',') if group == 0 => break,
+            _ => {}
+        }
+        arg.push(&tokens[j]);
+        j += 1;
+    }
+    if let [t] = arg.as_slice() {
+        if let Some(n) = t.number() {
+            return parse_int(n).map_or(RankExpr::Unknown, RankExpr::Value);
+        }
+    }
+    // Path of idents separated by `::`; take the final segment if it is
+    // SCREAMING_CASE.
+    let last = arg.iter().rev().find_map(|t| t.ident());
+    match last {
+        Some(name)
+            if name
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+                && name.chars().any(|c| c.is_ascii_uppercase()) =>
+        {
+            RankExpr::Const(name.to_string())
+        }
+        _ => RankExpr::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&scan(src))
+    }
+
+    #[test]
+    fn fn_items_with_signatures() {
+        let p = parse_src(
+            "impl Pool {
+                 pub fn with_page<R>(&self, id: PageId, f: F) -> Result<R> { body() }
+             }
+             fn free_fn(x: u32) {}",
+        );
+        assert_eq!(p.fns.len(), 2);
+        let m = &p.fns[0];
+        assert_eq!(m.name, "with_page");
+        assert_eq!(m.self_ty.as_deref(), Some("Pool"));
+        assert_eq!(m.params[0], ("self".to_string(), "Pool".to_string()));
+        assert_eq!(m.params[1], ("id".to_string(), "PageId".to_string()));
+        assert_eq!(m.ret.as_deref(), Some("Result<R>"));
+        assert!(p.fns[1].self_ty.is_none());
+    }
+
+    #[test]
+    fn trait_impls_and_defaults() {
+        let p = parse_src(
+            "trait Pager {
+                 fn read(&self) -> u32;
+                 fn read_twice(&self) -> u32 { self.read() + self.read() }
+             }
+             impl Pager for MemPager {
+                 fn read(&self) -> u32 { 0 }
+             }",
+        );
+        // The bodyless decl is dropped; the default and the impl stay.
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "read_twice");
+        assert_eq!(p.fns[0].self_ty.as_deref(), Some("Pager"));
+        assert_eq!(p.fns[0].trait_impl, None);
+        assert_eq!(p.fns[1].self_ty.as_deref(), Some("MemPager"));
+        assert_eq!(p.fns[1].trait_impl.as_deref(), Some("Pager"));
+    }
+
+    #[test]
+    fn struct_fields_named_and_tuple() {
+        let p = parse_src(
+            "pub struct Pool {
+                 pager: RankedMutex<Box<dyn Pager>>,
+                 pub wal: bool,
+             }
+             struct Wrap<'a>(&'a mut dyn Pager, u32);",
+        );
+        assert_eq!(p.structs[0].fields[0].0, "pager");
+        assert_eq!(p.structs[0].fields[0].1, "RankedMutex<Box<dyn Pager>>");
+        assert_eq!(p.structs[0].fields[1], ("wal".into(), "bool".into()));
+        assert_eq!(p.structs[1].fields[0].0, "0");
+        assert_eq!(p.structs[1].fields[0].1, "&mut dyn Pager");
+        assert_eq!(p.structs[1].fields[1], ("1".into(), "u32".into()));
+    }
+
+    #[test]
+    fn consts_with_integer_values() {
+        let p = parse_src(
+            "pub const WAL: u32 = 0;
+             pub const SHARD: u32 = 6;
+             const NAME: &str = \"x\";
+             fn f() { const LOCAL: u32 = 9; }",
+        );
+        let vals: Vec<_> = p
+            .consts
+            .iter()
+            .map(|c| (c.name.as_str(), c.value))
+            .collect();
+        // Consts inside fn bodies are not items the walker visits.
+        assert_eq!(
+            vals,
+            vec![("WAL", Some(0)), ("SHARD", Some(6)), ("NAME", None)]
+        );
+    }
+
+    #[test]
+    fn lock_sites_attribute_let_bindings_through_closures() {
+        let p = parse_src(
+            "fn with_config(n: usize) {
+                 let shards: Vec<RankedMutex<Shard>> = (0..n)
+                     .map(|i| {
+                         let cap = base + extra(i);
+                         RankedMutex::new(rank::SHARD, \"buffer shard\", Shard::new(cap))
+                     })
+                     .collect();
+             }",
+        );
+        assert_eq!(p.locks.len(), 1);
+        assert_eq!(p.locks[0].binding.as_deref(), Some("shards"));
+        assert_eq!(p.locks[0].rank, RankExpr::Const("SHARD".into()));
+        assert!(!p.locks[0].rwlock);
+    }
+
+    #[test]
+    fn lock_sites_attribute_struct_literal_fields() {
+        let p = parse_src(
+            "fn build() -> Self {
+                 Self {
+                     pager: RankedMutex::new(rank::PAGER, \"pager\", p),
+                     barrier: RankedRwLock::new(rank::BARRIER, \"barrier\", ()),
+                     wal: true,
+                 }
+             }",
+        );
+        assert_eq!(p.locks.len(), 2);
+        assert_eq!(p.locks[0].binding.as_deref(), Some("pager"));
+        assert_eq!(p.locks[1].binding.as_deref(), Some("barrier"));
+        assert!(p.locks[1].rwlock);
+    }
+
+    #[test]
+    fn lock_sites_bare_const_and_literal_ranks() {
+        let p = parse_src(
+            "fn f() {
+                 let a = RankedMutex::new(SHARD, \"s\", ());
+                 let b = RankedMutex::new(7, \"n\", ());
+                 let c = RankedMutex::new(pick(), \"x\", ());
+             }",
+        );
+        assert_eq!(p.locks[0].rank, RankExpr::Const("SHARD".into()));
+        assert_eq!(p.locks[1].rank, RankExpr::Value(7));
+        assert_eq!(p.locks[2].rank, RankExpr::Unknown);
+    }
+
+    #[test]
+    fn test_spans_mark_fns_and_locks() {
+        let p = parse_src(
+            "fn lib() {}
+             #[cfg(test)]
+             mod tests {
+                 #[test]
+                 fn t() { let l = RankedMutex::new(BARRIER, \"b\", ()); }
+             }",
+        );
+        assert!(!p.fns[0].is_test);
+        assert!(p.fns[1].is_test);
+        assert!(p.locks[0].in_test);
+    }
+
+    #[test]
+    fn nested_fns_are_registered() {
+        let p = parse_src("fn outer() { fn inner(x: u32) -> u32 { x } inner(1); }");
+        let names: Vec<_> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn generics_with_fn_bounds_do_not_derail() {
+        let p = parse_src(
+            "fn with_wal<R, F: FnOnce(&mut dyn WalFile) -> Result<R>>(f: F) -> Result<R> { f(w) }",
+        );
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "with_wal");
+        assert_eq!(p.fns[0].ret.as_deref(), Some("Result<R>"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Machine-readable lint report (`lint-report.json`).
+//!
+//! Hand-rolled JSON rendering — the build environment is offline, so no
+//! serde. The schema is intentionally small and stable:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "findings": [
+//!     {"path": "...", "line": 1, "rule": "...", "message": "...",
+//!      "chain": ["...", "..."]}
+//!   ],
+//!   "summary": {"total": 2, "by_rule": {"static-lock-rank": 2}}
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::FileFinding;
+
+/// Renders findings as the `lint-report.json` document.
+pub fn render(findings: &[FileFinding]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"path\": ");
+        push_str_json(&mut out, &f.path.display().to_string());
+        out.push_str(", \"line\": ");
+        out.push_str(&f.finding.line.to_string());
+        out.push_str(", \"rule\": ");
+        push_str_json(&mut out, f.finding.rule);
+        out.push_str(", \"message\": ");
+        push_str_json(&mut out, &f.finding.message);
+        out.push_str(", \"chain\": [");
+        for (j, link) in f.finding.chain.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            push_str_json(&mut out, link);
+        }
+        out.push_str("]}");
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"summary\": {\"total\": ");
+    out.push_str(&findings.len().to_string());
+    out.push_str(", \"by_rule\": {");
+    let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in findings {
+        *by_rule.entry(f.finding.rule).or_default() += 1;
+    }
+    for (i, (rule, n)) in by_rule.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_str_json(&mut out, rule);
+        out.push_str(": ");
+        out.push_str(&n.to_string());
+    }
+    out.push_str("}}\n}\n");
+    out
+}
+
+/// Appends `s` as a JSON string literal.
+fn push_str_json(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+    use std::path::PathBuf;
+
+    #[test]
+    fn renders_escaped_findings_and_summary() {
+        let mut f = Finding::new(3, "static-lock-rank", "acquires \"SHARD\"\nunder PAGER");
+        f.chain = vec![
+            "commit (buffer.rs:100)".into(),
+            "helper (buffer.rs:50)".into(),
+        ];
+        let findings = vec![
+            FileFinding {
+                path: PathBuf::from("crates/pagestore/src/buffer.rs"),
+                finding: f,
+            },
+            FileFinding {
+                path: PathBuf::from("a.rs"),
+                finding: Finding::new(1, "unwrap", "m"),
+            },
+        ];
+        let json = render(&findings);
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\\\"SHARD\\\"\\nunder"), "{json}");
+        assert!(json.contains("\"chain\": [\"commit (buffer.rs:100)\", \"helper (buffer.rs:50)\"]"));
+        assert!(json.contains("\"total\": 2"));
+        assert!(json.contains("\"static-lock-rank\": 1"));
+        assert!(json.contains("\"unwrap\": 1"));
+    }
+
+    #[test]
+    fn empty_report_has_no_rule_keys() {
+        let json = render(&[]);
+        assert!(json.contains("\"findings\": [],"));
+        assert!(!json.contains("\"rule\":"), "{json}");
+        assert!(json.contains("\"total\": 0"));
+    }
+}

@@ -10,8 +10,16 @@
 //! | `codec-roundtrip` | R4: codec files need a `*round_trip*` test                  |
 //! | `todo`            | R5: no `todo!` / `unimplemented!` in committed code         |
 //! | `dbg`             | R5: no `dbg!` in committed code                             |
-//! | `discarded-result`| R6: no `let _ =` in `pagestore` library code                |
+//! | `discarded-result`| R6: no `let _ =` in library code (any crate)                |
+//! | `static-lock-rank`| R7: no path may acquire rank ≤ any rank already held        |
+//! | `hot-lock-io`     | R8: no blocking I/O reachable under a hot lock              |
+//! | `snapshot-purity` | R9: no mutation reachable from snapshot / `*_at` readers    |
 //! | `bad-allow`       | meta: malformed / reason-less / unknown allow directive     |
+//!
+//! R7–R9 (plus `rank-drift`, the rank-table consistency check) are
+//! produced by the inter-procedural analysis in [`crate::graph`], not
+//! here; they share this module's [`Finding`] type and allow-directive
+//! suppression.
 //!
 //! Suppression: `// lint: allow(<rule>) -- <reason>` on the same line or
 //! the line directly above a finding. The reason is mandatory.
@@ -31,6 +39,10 @@ pub const RULE_KEYS: &[&str] = &[
     "todo",
     "dbg",
     "discarded-result",
+    "static-lock-rank",
+    "hot-lock-io",
+    "snapshot-purity",
+    "rank-drift",
 ];
 
 /// One rule violation in one file.
@@ -42,6 +54,22 @@ pub struct Finding {
     pub rule: &'static str,
     /// Human-oriented explanation.
     pub message: String,
+    /// For inter-procedural rules (R7–R9): the call chain from the
+    /// offending entry point down to the violating site, outermost
+    /// first. Empty for single-site rules.
+    pub chain: Vec<String>,
+}
+
+impl Finding {
+    /// A finding with no call chain.
+    pub fn new(line: u32, rule: &'static str, message: impl Into<String>) -> Self {
+        Finding {
+            line,
+            rule,
+            message: message.into(),
+            chain: Vec::new(),
+        }
+    }
 }
 
 /// Which crate a file belongs to, for crate-scoped rules.
@@ -64,8 +92,8 @@ pub fn check(scanned: &Scanned, ctx: FileContext<'_>) -> Vec<Finding> {
     rule_unsafe(tokens, &mut raw);
     if ctx.crate_name == "pagestore" {
         rule_raw_lock(tokens, &in_test, &mut raw);
-        rule_discarded_result(tokens, &in_test, &mut raw);
     }
+    rule_discarded_result(tokens, &in_test, &mut raw);
     if matches!(ctx.crate_name, "pagestore" | "batree" | "ecdf") {
         // The WAL record framing and the superblock are codecs by
         // charter, whatever their function names: recovery depends on
@@ -86,6 +114,7 @@ fn apply_allows(raw: Vec<Finding>, allows: &[AllowDirective]) -> Vec<Finding> {
         if d.malformed {
             out.push(Finding {
                 line: d.line,
+                chain: Vec::new(),
                 rule: "bad-allow",
                 message: "malformed lint directive; expected \
                           `// lint: allow(<rule>) -- <reason>`"
@@ -94,12 +123,14 @@ fn apply_allows(raw: Vec<Finding>, allows: &[AllowDirective]) -> Vec<Finding> {
         } else if !RULE_KEYS.contains(&d.rule.as_str()) {
             out.push(Finding {
                 line: d.line,
+                chain: Vec::new(),
                 rule: "bad-allow",
                 message: format!("unknown rule `{}` in allow directive", d.rule),
             });
         } else if d.reason.is_empty() {
             out.push(Finding {
                 line: d.line,
+                chain: Vec::new(),
                 rule: "bad-allow",
                 message: format!(
                     "allow({}) without a reason; append `-- <why this is sound>`",
@@ -108,6 +139,16 @@ fn apply_allows(raw: Vec<Finding>, allows: &[AllowDirective]) -> Vec<Finding> {
             });
         }
     }
+    out.extend(suppress(raw, allows));
+    out.sort_by_key(|f| (f.line, f.rule));
+    out
+}
+
+/// Drops findings covered by a well-formed, reasoned allow directive on
+/// the same line or the line directly above. Used standalone by the
+/// inter-procedural pass, whose findings arrive after [`check`] has
+/// already validated the file's directives.
+pub(crate) fn suppress(raw: Vec<Finding>, allows: &[AllowDirective]) -> Vec<Finding> {
     let suppressed = |f: &Finding| {
         allows.iter().any(|d| {
             !d.malformed
@@ -116,14 +157,12 @@ fn apply_allows(raw: Vec<Finding>, allows: &[AllowDirective]) -> Vec<Finding> {
                 && (d.line == f.line || d.line + 1 == f.line)
         })
     };
-    out.extend(raw.into_iter().filter(|f| !suppressed(f)));
-    out.sort_by_key(|f| (f.line, f.rule));
-    out
+    raw.into_iter().filter(|f| !suppressed(f)).collect()
 }
 
 /// Token index ranges covered by `#[cfg(test)]` items and `#[test]` /
 /// `#[should_panic]` functions.
-fn test_spans(tokens: &[Token]) -> Vec<Range<usize>> {
+pub(crate) fn test_spans(tokens: &[Token]) -> Vec<Range<usize>> {
     let mut spans = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
@@ -172,7 +211,7 @@ fn test_spans(tokens: &[Token]) -> Vec<Range<usize>> {
 
 /// If an attribute (`#[...]` or `#![...]`) starts at `i`, returns its
 /// exclusive end index and whether it marks test-only code.
-fn parse_attribute(tokens: &[Token], i: usize) -> Option<(usize, bool)> {
+pub(crate) fn parse_attribute(tokens: &[Token], i: usize) -> Option<(usize, bool)> {
     if !tokens.get(i)?.is_punct('#') {
         return None;
     }
@@ -226,6 +265,7 @@ fn rule_unwrap_expect_panic(
         {
             out.push(Finding {
                 line: tokens[i + 1].line,
+                chain: Vec::new(),
                 rule: "unwrap",
                 message: "bare `.unwrap()` in non-test code; propagate a `Result`, \
                           use `.expect(\"<invariant>\")`, or justify with \
@@ -243,6 +283,7 @@ fn rule_unwrap_expect_panic(
         {
             out.push(Finding {
                 line: tokens[i + 1].line,
+                chain: Vec::new(),
                 rule: "expect-empty",
                 message: "`.expect(\"\")` with a blank message; state the violated \
                           invariant in the message"
@@ -252,6 +293,7 @@ fn rule_unwrap_expect_panic(
         if t.is_ident("panic") && tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
             out.push(Finding {
                 line: t.line,
+                chain: Vec::new(),
                 rule: "panic",
                 message: "`panic!` in non-test code; return an `Error`, use a \
                           descriptive `assert!`, or justify with \
@@ -269,6 +311,7 @@ fn rule_unsafe(tokens: &[Token], out: &mut Vec<Finding>) {
         if t.is_ident("unsafe") {
             out.push(Finding {
                 line: t.line,
+                chain: Vec::new(),
                 rule: "unsafe",
                 message: "`unsafe` outside the audited allow-list; if genuinely \
                           required, annotate `// lint: allow(unsafe) -- <audit>`"
@@ -298,6 +341,7 @@ fn rule_raw_lock(tokens: &[Token], in_test: &dyn Fn(usize) -> bool, out: &mut Ve
         {
             out.push(Finding {
                 line: tokens[i + 1].line,
+                chain: Vec::new(),
                 rule: "raw-lock",
                 message: "raw mutex acquisition in `pagestore`; go through \
                           `RankedMutex::acquire` so lock ordering is rank-checked"
@@ -307,6 +351,7 @@ fn rule_raw_lock(tokens: &[Token], in_test: &dyn Fn(usize) -> bool, out: &mut Ve
         if t.is_ident("RwLock") {
             out.push(Finding {
                 line: t.line,
+                chain: Vec::new(),
                 rule: "raw-lock",
                 message: "bare `RwLock` in `pagestore`; use the rank-checked \
                           `RankedRwLock` wrapper instead"
@@ -316,11 +361,11 @@ fn rule_raw_lock(tokens: &[Token], in_test: &dyn Fn(usize) -> bool, out: &mut Ve
     }
 }
 
-/// R6: in `pagestore` library code, no `let _ = …` — the idiom that
-/// silently discards a `Result` on the substrate's error paths (the
-/// fault-injection sweeps exist precisely because a swallowed write or
-/// sync error becomes data loss). `let _x` bindings and `_ =>` match
-/// arms are untouched; a genuinely best-effort discard must say so via
+/// R6: in library code (every crate), no `let _ = …` — the idiom that
+/// silently discards a `Result` on error paths (the fault-injection
+/// sweeps exist precisely because a swallowed write or sync error
+/// becomes data loss). `let _x` bindings and `_ =>` match arms are
+/// untouched; a genuinely best-effort discard must say so via
 /// `// lint: allow(discarded-result) -- <reason>`.
 fn rule_discarded_result(
     tokens: &[Token],
@@ -339,10 +384,11 @@ fn rule_discarded_result(
         {
             out.push(Finding {
                 line: t.line,
+                chain: Vec::new(),
                 rule: "discarded-result",
                 message: "`let _ =` discards a value (likely a `Result`) in \
-                          `pagestore` library code; handle or propagate the \
-                          error, or justify with \
+                          library code; handle or propagate the error, or \
+                          justify with \
                           `// lint: allow(discarded-result) -- <reason>`"
                     .to_string(),
             });
@@ -393,6 +439,7 @@ fn rule_codec_roundtrip(
         };
         out.push(Finding {
             line,
+            chain: Vec::new(),
             rule: "codec-roundtrip",
             message: format!(
                 "{what} without a `*round_trip*` test in this file; add one or \
@@ -412,6 +459,7 @@ fn rule_todo_dbg(tokens: &[Token], out: &mut Vec<Finding>) {
         if t.is_ident("todo") || t.is_ident("unimplemented") {
             out.push(Finding {
                 line: t.line,
+                chain: Vec::new(),
                 rule: "todo",
                 message: "unfinished-code marker committed; implement it or return \
                           an explicit error"
@@ -420,6 +468,7 @@ fn rule_todo_dbg(tokens: &[Token], out: &mut Vec<Finding>) {
         } else if t.is_ident("dbg") {
             out.push(Finding {
                 line: t.line,
+                chain: Vec::new(),
                 rule: "dbg",
                 message: "`dbg!` committed; remove the debugging aid".to_string(),
             });
@@ -540,10 +589,10 @@ mod tests {
     }
 
     #[test]
-    fn discarded_result_only_in_pagestore_library_code() {
+    fn discarded_result_in_all_library_code() {
         let src = "fn f() { let _ = file.set_len(0); }";
         assert_eq!(rules(src, "pagestore"), vec!["discarded-result"]);
-        assert!(rules(src, "core").is_empty(), "scoped to pagestore");
+        assert_eq!(rules(src, "core"), vec!["discarded-result"]);
         // Typed discards are flagged too.
         assert_eq!(
             rules("fn f() { let _: Result<()> = g(); }", "pagestore"),

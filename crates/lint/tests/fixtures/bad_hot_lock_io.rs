@@ -1,0 +1,37 @@
+//! R8 fixture: the pre-WAL-split commit shape — log append and fsync
+//! performed on the pager while the pager lock is held, so every
+//! cache-miss reader queued on that lock waits out the disk sync.
+
+pub const PAGER: u32 = 7;
+
+struct Pager {
+    n: u64,
+}
+
+impl Pager {
+    fn wal_append(&mut self, rec: &[u8]) -> u64 {
+        self.n + rec.len() as u64
+    }
+
+    fn wal_sync(&mut self) -> u64 {
+        self.n
+    }
+}
+
+struct Pool {
+    pager: RankedMutex<Pager>,
+}
+
+impl Pool {
+    fn new() -> Pool {
+        Pool {
+            pager: RankedMutex::new(PAGER, "pager", Pager { n: 0 }),
+        }
+    }
+
+    fn log_commit(&self) -> u64 {
+        let mut pager = self.pager.acquire();
+        let appended = pager.wal_append(&[1, 2, 3]);
+        appended + pager.wal_sync()
+    }
+}

@@ -1,0 +1,38 @@
+//! R7 fixture: a rank inversion across a call — `inverted` holds the
+//! pager lock (rank 7) while calling a helper that takes a shard lock
+//! (rank 6), so the acquisition order is not strictly increasing.
+
+pub const SHARD: u32 = 6;
+pub const PAGER: u32 = 7;
+
+struct Shard {
+    n: u64,
+}
+
+struct Pager {
+    n: u64,
+}
+
+struct Pool {
+    shard: RankedMutex<Shard>,
+    pager: RankedMutex<Pager>,
+}
+
+impl Pool {
+    fn new() -> Pool {
+        Pool {
+            shard: RankedMutex::new(SHARD, "shard", Shard { n: 0 }),
+            pager: RankedMutex::new(PAGER, "pager", Pager { n: 0 }),
+        }
+    }
+
+    fn touch_shard(&self) -> u64 {
+        let g = self.shard.acquire();
+        g.n
+    }
+
+    fn inverted(&self) -> u64 {
+        let p = self.pager.acquire();
+        self.touch_shard() + p.n
+    }
+}

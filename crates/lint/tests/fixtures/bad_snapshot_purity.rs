@@ -1,0 +1,31 @@
+//! R9 fixture: a snapshot read path that mutates — a `StoreSnapshot`
+//! method reaches `BufferPool::write_page` through a helper, and an
+//! epoch-taking `*_at` query writes directly.
+
+struct BufferPool {
+    n: u64,
+}
+
+impl BufferPool {
+    fn write_page(&mut self, id: u64) -> u64 {
+        self.n + id
+    }
+}
+
+struct StoreSnapshot {
+    epoch: u64,
+}
+
+impl StoreSnapshot {
+    fn read_with_repair(&self, pool: &mut BufferPool) -> u64 {
+        repair(pool, self.epoch)
+    }
+}
+
+fn repair(pool: &mut BufferPool, epoch: u64) -> u64 {
+    pool.write_page(epoch)
+}
+
+fn lookup_at(pool: &mut BufferPool, epoch: u64) -> u64 {
+    pool.write_page(epoch)
+}

@@ -1,0 +1,14 @@
+//! R7 fixture: an acquisition whose rank cannot be resolved — the lock
+//! is never constructed in the analyzed set and its inner type is
+//! anonymous, so the analyzer fails closed and reports the site.
+
+struct Pool {
+    lock: RankedMutex<u64>,
+}
+
+impl Pool {
+    fn peek(&self) -> u64 {
+        let g = self.lock.acquire();
+        g.wrapping_add(1)
+    }
+}

@@ -1,0 +1,43 @@
+//! R7 fixture (good twin): the same two locks acquired in strictly
+//! increasing rank order, directly and across a call.
+
+pub const SHARD: u32 = 6;
+pub const PAGER: u32 = 7;
+
+struct Shard {
+    n: u64,
+}
+
+struct Pager {
+    n: u64,
+}
+
+struct Pool {
+    shard: RankedMutex<Shard>,
+    pager: RankedMutex<Pager>,
+}
+
+impl Pool {
+    fn new() -> Pool {
+        Pool {
+            shard: RankedMutex::new(SHARD, "shard", Shard { n: 0 }),
+            pager: RankedMutex::new(PAGER, "pager", Pager { n: 0 }),
+        }
+    }
+
+    fn touch_pager(&self) -> u64 {
+        let g = self.pager.acquire();
+        g.n
+    }
+
+    fn ordered(&self) -> u64 {
+        let s = self.shard.acquire();
+        let p = self.pager.acquire();
+        s.n + p.n
+    }
+
+    fn ordered_across_call(&self) -> u64 {
+        let s = self.shard.acquire();
+        self.touch_pager() + s.n
+    }
+}

@@ -1,0 +1,34 @@
+//! R9 fixture (good twin): snapshot paths only read; mutation happens
+//! on live (non-snapshot) paths, which R9 does not constrain.
+
+struct BufferPool {
+    n: u64,
+}
+
+impl BufferPool {
+    fn read_page(&self, id: u64) -> u64 {
+        self.n + id
+    }
+
+    fn write_page(&mut self, id: u64) -> u64 {
+        self.n + id
+    }
+}
+
+struct StoreSnapshot {
+    epoch: u64,
+}
+
+impl StoreSnapshot {
+    fn read(&self, pool: &BufferPool) -> u64 {
+        pool.read_page(self.epoch)
+    }
+}
+
+fn lookup_at(pool: &BufferPool, epoch: u64) -> u64 {
+    pool.read_page(epoch)
+}
+
+fn flush(pool: &mut BufferPool) -> u64 {
+    pool.write_page(7)
+}

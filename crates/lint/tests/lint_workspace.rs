@@ -41,6 +41,9 @@ fn good_fixtures_are_clean() {
         "good_allowed_unwrap.rs",
         "good_codec_round_trip.rs",
         "good_discarded_result.rs",
+        "good_lock_rank.rs",
+        "good_hot_lock_io.rs",
+        "good_snapshot_purity.rs",
     ] {
         let rules = rules_for(name);
         assert!(rules.is_empty(), "{name}: expected clean, got {rules:?}");
@@ -114,6 +117,80 @@ fn bad_allow_without_reason_is_rejected() {
         2,
         "a malformed allow must not suppress the finding it targets: {rules:?}"
     );
+}
+
+#[test]
+fn bad_lock_rank_fires_r7_with_chain() {
+    assert_bad("bad_lock_rank.rs", "static-lock-rank");
+    let findings = lint_file(&fixture("bad_lock_rank.rs")).expect("fixture reads");
+    assert!(
+        findings.iter().any(|f| f.finding.chain.len() >= 2),
+        "expected a cross-call finding with a chain of >= 2 frames"
+    );
+    // The rendered finding prints the chain for humans.
+    let shown = findings
+        .iter()
+        .find(|f| f.finding.chain.len() >= 2)
+        .expect("cross-call finding")
+        .to_string();
+    assert!(shown.contains("touch_shard ("), "{shown}");
+}
+
+#[test]
+fn bad_hot_lock_io_fires_r8() {
+    // The deliberate pre-WAL-split inversion: log append + fsync on the
+    // pager while the pager lock is held. Both I/O calls are flagged.
+    assert_bad("bad_hot_lock_io.rs", "hot-lock-io");
+    let rules = rules_for("bad_hot_lock_io.rs");
+    assert_eq!(
+        rules.len(),
+        2,
+        "both wal_append and wal_sync flagged: {rules:?}"
+    );
+}
+
+#[test]
+fn bad_snapshot_purity_fires_r9_with_chain() {
+    assert_bad("bad_snapshot_purity.rs", "snapshot-purity");
+    let findings = lint_file(&fixture("bad_snapshot_purity.rs")).expect("fixture reads");
+    assert!(
+        findings.iter().any(|f| f.finding.chain.len() >= 3),
+        "expected snapshot -> helper -> write_page chain of >= 3 frames"
+    );
+}
+
+#[test]
+fn bad_unresolved_rank_fails_closed_as_r7() {
+    assert_bad("bad_unresolved_rank.rs", "static-lock-rank");
+}
+
+/// The tentpole acceptance check: the inter-procedural pass over the real
+/// workspace proves the whole call graph free of rank inversions, hot-lock
+/// I/O and snapshot mutation, and the rank table matches `rank.rs` and
+/// DESIGN.md exactly.
+#[test]
+fn workspace_lock_graph_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let findings = lint_workspace(&root).expect("workspace walk succeeds");
+    let graph_rules = [
+        "static-lock-rank",
+        "hot-lock-io",
+        "snapshot-purity",
+        "rank-drift",
+    ];
+    let bad: Vec<_> = findings
+        .iter()
+        .filter(|f| graph_rules.contains(&f.finding.rule))
+        .collect();
+    if !bad.is_empty() {
+        for f in &bad {
+            eprintln!("{f}");
+        }
+        panic!("workspace lock graph has {} violation(s)", bad.len());
+    }
 }
 
 /// The acceptance gate: the workspace itself must lint clean.  This is the
