@@ -23,6 +23,7 @@
 
 use boxagg_common::error::Result;
 use boxagg_common::geom::{Point, Rect};
+use boxagg_common::slab::EntrySlab;
 use boxagg_common::value::AggValue;
 use boxagg_pagestore::PageId;
 
@@ -121,7 +122,7 @@ fn bulk_node<V: AggValue>(
     let leaf_cap = ctx.params.leaf_cap(dim);
     if points.len() <= leaf_cap {
         let id = ctx.store.allocate()?;
-        ctx.write_node(id, dim, &Node::Leaf(points))?;
+        ctx.write_node(id, dim, &Node::Leaf(EntrySlab::from_entries(dim, points)))?;
         return Ok(id);
     }
 

@@ -16,6 +16,7 @@
 use boxagg_common::bytes::{ByteReader, ByteWriter};
 use boxagg_common::error::{corrupt, Error, Result};
 use boxagg_common::geom::{Point, Rect};
+use boxagg_common::slab::EntrySlab;
 use boxagg_common::value::AggValue;
 use boxagg_pagestore::PageId;
 
@@ -127,16 +128,19 @@ impl BaParams {
 /// into a dedicated `(d−1)`-dim BA-tree.
 #[derive(Debug, Clone)]
 pub(crate) enum BorderRef<V> {
-    /// Entries stored in the record itself (projected points).
-    Inline(Vec<(Point, V)>),
+    /// Entries stored in the record itself (projected points, decoded
+    /// into struct-of-arrays columns for the dominance scans).
+    Inline(EntrySlab<V>),
     /// Root of a dedicated border tree.
     Tree(PageId),
 }
 
-impl<V> BorderRef<V> {
-    /// An empty border.
-    pub(crate) fn empty() -> Self {
-        BorderRef::Inline(Vec::new())
+impl<V: AggValue> BorderRef<V> {
+    /// An empty border over `projected_dim`-dimensional points
+    /// (`dim − 1` for a `dim`-dimensional tree; 0 for 1-d trees, whose
+    /// borders are structurally empty).
+    pub(crate) fn empty(projected_dim: usize) -> Self {
+        BorderRef::Inline(EntrySlab::new(projected_dim))
     }
 
     /// Whether the border holds no entries (inline only; a spilled tree
@@ -166,16 +170,16 @@ pub(crate) struct IndexRecord<V> {
 /// Decoded node contents.
 #[derive(Debug, Clone)]
 pub(crate) enum Node<V> {
-    /// Weighted points.
-    Leaf(Vec<(Point, V)>),
+    /// Weighted points, stored struct-of-arrays for the dominance scans.
+    Leaf(EntrySlab<V>),
     /// Augmented k-d-B records.
     Index(Vec<IndexRecord<V>>),
 }
 
 impl<V: AggValue> Node<V> {
-    /// An empty leaf.
-    pub(crate) fn empty_leaf() -> Self {
-        Node::Leaf(Vec::new())
+    /// An empty leaf of `dim`-dimensional points.
+    pub(crate) fn empty_leaf(dim: usize) -> Self {
+        Node::Leaf(EntrySlab::new(dim))
     }
 
     /// Whether the node respects the page capacity for its kind.
@@ -192,11 +196,8 @@ impl<V: AggValue> Node<V> {
             Node::Leaf(entries) => {
                 w.put_u8(0);
                 w.put_u16(entries.len() as u16);
-                for (p, v) in entries {
-                    debug_assert_eq!(p.dim(), dim);
-                    p.encode(w);
-                    v.encode(w);
-                }
+                debug_assert_eq!(entries.dim(), dim);
+                entries.encode_entries(w);
             }
             Node::Index(records) => {
                 w.put_u8(1);
@@ -211,11 +212,8 @@ impl<V: AggValue> Node<V> {
                             BorderRef::Inline(entries) => {
                                 w.put_u8(0);
                                 w.put_u16(entries.len() as u16);
-                                for (p, v) in entries {
-                                    debug_assert_eq!(p.dim(), dim - 1);
-                                    p.encode(w);
-                                    v.encode(w);
-                                }
+                                debug_assert_eq!(entries.dim(), dim - 1);
+                                entries.encode_entries(w);
                             }
                             BorderRef::Tree(id) => {
                                 w.put_u8(1);
@@ -236,13 +234,9 @@ impl<V: AggValue> Node<V> {
         let count = r.get_u16()? as usize;
         match tag {
             0 => {
-                let mut entries = Vec::with_capacity(count);
-                for _ in 0..count {
-                    let p = Point::decode(&mut r, dim)?;
-                    let v = V::decode(&mut r)?;
-                    entries.push((p, v));
-                }
-                Ok(Node::Leaf(entries))
+                // Decode straight into slab columns — no intermediate
+                // tuple vector. Byte stream unchanged.
+                Ok(Node::Leaf(EntrySlab::decode_entries(&mut r, dim, count)?))
             }
             1 => {
                 let mut records = Vec::with_capacity(count);
@@ -254,12 +248,7 @@ impl<V: AggValue> Node<V> {
                         match r.get_u8()? {
                             0 => {
                                 let n = r.get_u16()? as usize;
-                                let mut entries = Vec::with_capacity(n);
-                                for _ in 0..n {
-                                    let p = Point::decode(&mut r, dim - 1)?;
-                                    let v = V::decode(&mut r)?;
-                                    entries.push((p, v));
-                                }
+                                let entries = EntrySlab::decode_entries(&mut r, dim - 1, n)?;
                                 borders.push(BorderRef::Inline(entries));
                             }
                             1 => borders.push(BorderRef::Tree(PageId(r.get_u64()?))),
@@ -316,7 +305,8 @@ mod tests {
     fn encoded_record_at_inline_cap_respects_worst_case() {
         let p = params();
         let k = p.inline_border_cap(2);
-        let inline: Vec<(Point, f64)> = (0..k).map(|i| (Point::new(&[i as f64]), 1.0)).collect();
+        let entries: Vec<(Point, f64)> = (0..k).map(|i| (Point::new(&[i as f64]), 1.0)).collect();
+        let inline = EntrySlab::from_slice(1, &entries);
         let rec = IndexRecord {
             rect: Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]),
             child: PageId(1),
@@ -340,21 +330,47 @@ mod tests {
 
     #[test]
     fn leaf_round_trip() {
-        let node: Node<f64> = Node::Leaf(vec![
-            (Point::new(&[1.0, 2.0]), 3.5),
-            (Point::new(&[-4.0, 0.0]), -1.25),
-        ]);
+        let node: Node<f64> = Node::Leaf(EntrySlab::from_slice(
+            2,
+            &[
+                (Point::new(&[1.0, 2.0]), 3.5),
+                (Point::new(&[-4.0, 0.0]), -1.25),
+            ],
+        ));
         let mut w = ByteWriter::new();
         node.encode(2, &mut w);
         let bytes = w.into_vec();
         match Node::<f64>::decode(&bytes, 2).unwrap() {
             Node::Leaf(es) => {
                 assert_eq!(es.len(), 2);
-                assert_eq!(es[0], (Point::new(&[1.0, 2.0]), 3.5));
-                assert_eq!(es[1], (Point::new(&[-4.0, 0.0]), -1.25));
+                assert_eq!(es.point(0), Point::new(&[1.0, 2.0]));
+                assert_eq!(*es.value(0), 3.5);
+                assert_eq!(es.point(1), Point::new(&[-4.0, 0.0]));
+                assert_eq!(*es.value(1), -1.25);
             }
             _ => panic!("wrong kind"),
         }
+    }
+
+    #[test]
+    fn leaf_bytes_match_tuple_layout() {
+        // The slab codec must be byte-identical to the old per-entry
+        // `Point::encode` + value layout.
+        let entries = [
+            (Point::new(&[1.0, 2.0]), 3.5),
+            (Point::new(&[-4.0, 0.0]), -1.25),
+        ];
+        let node: Node<f64> = Node::Leaf(EntrySlab::from_slice(2, &entries));
+        let mut w = ByteWriter::new();
+        node.encode(2, &mut w);
+        let mut ref_w = ByteWriter::new();
+        ref_w.put_u8(0);
+        ref_w.put_u16(entries.len() as u16);
+        for (p, v) in &entries {
+            p.encode(&mut ref_w);
+            v.encode(&mut ref_w);
+        }
+        assert_eq!(w.as_slice(), ref_w.as_slice());
     }
 
     #[test]
@@ -364,7 +380,10 @@ mod tests {
             child: PageId(42),
             subtotal: Poly::monomial(2.0, &[1, 1]),
             borders: vec![
-                BorderRef::Inline(vec![(Point::new(&[0.25]), Poly::constant(3.0))]),
+                BorderRef::Inline(EntrySlab::from_slice(
+                    1,
+                    &[(Point::new(&[0.25]), Poly::constant(3.0))],
+                )),
                 BorderRef::Tree(PageId(7)),
             ],
         };
@@ -379,8 +398,8 @@ mod tests {
                 match &rs[0].borders[0] {
                     BorderRef::Inline(es) => {
                         assert_eq!(es.len(), 1);
-                        assert_eq!(es[0].0, Point::new(&[0.25]));
-                        assert_eq!(es[0].1, Poly::constant(3.0));
+                        assert_eq!(es.point(0), Point::new(&[0.25]));
+                        assert_eq!(*es.value(0), Poly::constant(3.0));
                     }
                     _ => panic!("expected inline border"),
                 }
@@ -394,7 +413,7 @@ mod tests {
 
     #[test]
     fn border_ref_helpers() {
-        let b: BorderRef<f64> = BorderRef::empty();
+        let b: BorderRef<f64> = BorderRef::empty(1);
         assert!(b.is_empty_inline());
         let t: BorderRef<f64> = BorderRef::Tree(PageId(1));
         assert!(!t.is_empty_inline());
@@ -414,9 +433,16 @@ mod tests {
         };
         // leaf cap in 1-d: (128-3)/16 = 7
         assert_eq!(p.leaf_cap(1), 7);
-        let small: Node<f64> = Node::Leaf((0..7).map(|i| (Point::new(&[i as f64]), 1.0)).collect());
+        let fill = |n: usize| {
+            let mut s = EntrySlab::new(1);
+            for i in 0..n {
+                s.push(&Point::new(&[i as f64]), 1.0);
+            }
+            Node::Leaf(s)
+        };
+        let small: Node<f64> = fill(7);
         assert!(small.fits(&p, 1));
-        let big: Node<f64> = Node::Leaf((0..8).map(|i| (Point::new(&[i as f64]), 1.0)).collect());
+        let big: Node<f64> = fill(8);
         assert!(!big.fits(&p, 1));
     }
 
@@ -427,11 +453,11 @@ mod tests {
             max_value_size: 8,
         };
         let cap = p.leaf_cap(3);
-        let node: Node<f64> = Node::Leaf(
-            (0..cap)
-                .map(|i| (Point::new(&[i as f64, 0.0, 1.0]), 2.0))
-                .collect(),
-        );
+        let mut s = EntrySlab::new(3);
+        for i in 0..cap {
+            s.push(&Point::new(&[i as f64, 0.0, 1.0]), 2.0);
+        }
+        let node: Node<f64> = Node::Leaf(s);
         let mut w = ByteWriter::new();
         node.encode(3, &mut w);
         assert!(w.len() <= p.page_size);
@@ -450,7 +476,7 @@ mod tests {
                 rect: Rect::from_bounds(&[(i as f64, i as f64 + 1.0), (0.0, 1.0)]),
                 child: PageId(i as u64),
                 subtotal: 1.0,
-                borders: vec![BorderRef::empty(), BorderRef::empty()],
+                borders: vec![BorderRef::empty(1), BorderRef::empty(1)],
             })
             .collect();
         let node = Node::Index(recs);

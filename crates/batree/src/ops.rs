@@ -52,6 +52,7 @@
 use boxagg_common::bytes::ByteWriter;
 use boxagg_common::error::{invalid_arg, Result};
 use boxagg_common::geom::{Point, Rect};
+use boxagg_common::slab::EntrySlab;
 use boxagg_common::value::AggValue;
 use boxagg_pagestore::{PageId, SharedStore, StoreSnapshot};
 
@@ -130,7 +131,7 @@ impl<'a> Ctx<'a> {
 
     fn new_leaf<V: AggValue>(&self, dim: usize) -> Result<PageId> {
         let id = self.store.allocate()?;
-        self.write::<V>(id, dim, &Node::empty_leaf())?;
+        self.write::<V>(id, dim, &Node::empty_leaf(dim))?;
         Ok(id)
     }
 }
@@ -225,7 +226,7 @@ fn grow_root<V: AggValue>(
             rect: *space,
             child,
             subtotal: V::zero(),
-            borders: vec![BorderRef::empty(); dim],
+            borders: vec![BorderRef::empty(dim - 1); dim],
         };
         let records = split_subtree(ctx, dim, space, rec, node)?;
         node = Node::Index(records);
@@ -255,10 +256,10 @@ fn insert_rec<V: AggValue>(
         Node::Leaf(entries) => {
             // Coincident points merge, which keeps leaves splittable:
             // distinct points always differ in some dimension.
-            if let Some(e) = entries.iter_mut().find(|(q, _)| *q == p) {
-                e.1.add_assign(&v);
+            if let Some(i) = entries.find_exact(&p) {
+                entries.value_mut(i).add_assign(&v);
             } else {
-                entries.push((p, v));
+                entries.push(&p, v);
             }
             if !node.fits(ctx.params, dim) {
                 return Ok(Some(node));
@@ -327,16 +328,16 @@ fn register_against<V: AggValue>(
     let pp = p.drop_dim(k);
     match &mut r.borders[k] {
         BorderRef::Inline(entries) => {
-            if let Some(e) = entries.iter_mut().find(|(q, _)| *q == pp) {
-                e.1.add_assign(v);
+            if let Some(i) = entries.find_exact(&pp) {
+                entries.value_mut(i).add_assign(v);
             } else {
-                entries.push((pp, v.clone()));
+                entries.push(&pp, v.clone());
             }
             if entries.len() > ctx.params.inline_border_cap(dim) {
                 // Spill the border into its own (d−1)-dim tree.
-                let drained = std::mem::take(entries);
+                let drained = std::mem::replace(entries, EntrySlab::new(dim - 1));
                 let sub_space = space.drop_dim(k);
-                let root = build_tree(ctx, dim - 1, &sub_space, drained)?;
+                let root = build_tree(ctx, dim - 1, &sub_space, drained.into_entries())?;
                 r.borders[k] = BorderRef::Tree(root);
             }
         }
@@ -371,6 +372,9 @@ pub(crate) fn tree_query<V: AggValue>(
     query_rec(ctx, dim, space, root, &qc)
 }
 
+// The dominance scans below are the tree's hottest loops; the slab scan
+// keeps the exact add order of the scalar loop it replaced (bit-identical
+// aggregates, see `EntrySlab::sum_dominated_into`).
 fn query_rec<V: AggValue>(
     ctx: Ctx<'_>,
     dim: usize,
@@ -382,11 +386,7 @@ fn query_rec<V: AggValue>(
     match &*node {
         Node::Leaf(entries) => {
             let mut acc = V::zero();
-            for (p, v) in entries {
-                if p.dominated_by(q) {
-                    acc.add_assign(v);
-                }
-            }
+            entries.sum_dominated_into(q, &mut acc);
             Ok(acc)
         }
         Node::Index(records) => {
@@ -399,11 +399,7 @@ fn query_rec<V: AggValue>(
                     BorderRef::Inline(entries) => {
                         if !entries.is_empty() {
                             let qp = q.drop_dim(k);
-                            for (p, v) in entries {
-                                if p.dominated_by(&qp) {
-                                    acc.add_assign(v);
-                                }
-                            }
+                            entries.sum_dominated_into(&qp, &mut acc);
                         }
                     }
                     BorderRef::Tree(root) => {
@@ -433,7 +429,7 @@ pub(crate) fn tree_enumerate<V: AggValue>(
     }
     let node = ctx.read_shared::<V>(root, dim)?;
     match &*node {
-        Node::Leaf(entries) => out.extend(entries.iter().cloned()),
+        Node::Leaf(entries) => out.extend(entries.iter().map(|(p, v)| (p, v.clone()))),
         Node::Index(records) => {
             for r in records {
                 tree_enumerate::<V>(ctx, dim, r.child, out)?;
@@ -471,7 +467,7 @@ fn border_entries<V: AggValue>(
     border: &BorderRef<V>,
 ) -> Result<Vec<(Point, V)>> {
     match border {
-        BorderRef::Inline(entries) => Ok(entries.clone()),
+        BorderRef::Inline(entries) => Ok(entries.to_entries()),
         BorderRef::Tree(root) => {
             let mut out = Vec::new();
             tree_enumerate(ctx, dim - 1, *root, &mut out)?;
@@ -490,7 +486,7 @@ pub(crate) fn build_border<V: AggValue>(
     entries: Vec<(Point, V)>,
 ) -> Result<BorderRef<V>> {
     if entries.len() <= ctx.params.inline_border_cap(dim) {
-        Ok(BorderRef::Inline(entries))
+        Ok(BorderRef::Inline(EntrySlab::from_entries(dim - 1, entries)))
     } else {
         let sub_space = space.drop_dim(k);
         Ok(BorderRef::Tree(build_tree(
@@ -553,14 +549,14 @@ fn bulk_build_1d<V: AggValue>(
     let mut start = 0;
     while start < merged.len() {
         let end = (start + leaf_cap).min(merged.len());
-        let chunk = merged[start..end].to_vec();
+        let chunk = &merged[start..end];
         let first = chunk[0].0.get(0);
         let mut sum = V::zero();
-        for (_, v) in &chunk {
+        for (_, v) in chunk {
             sum.add_assign(v);
         }
         let id = ctx.store.allocate()?;
-        ctx.write(id, 1, &Node::Leaf(chunk))?;
+        ctx.write(id, 1, &Node::Leaf(EntrySlab::from_slice(1, chunk)))?;
         items.push((first, id, sum));
         start = end;
     }
@@ -593,7 +589,7 @@ fn bulk_build_1d<V: AggValue>(
                     rect: Rect::new(Point::new(&[bounds[k]]), Point::new(&[bounds[k + 1]])),
                     child: *child,
                     subtotal: prefix.clone(),
-                    borders: vec![BorderRef::empty()],
+                    borders: vec![BorderRef::empty(0)],
                 });
                 prefix.add_assign(sum);
                 node_sum.add_assign(sum);
@@ -663,7 +659,7 @@ fn choose_split<V: AggValue>(
             let mut dims: Vec<usize> = (0..dim).collect();
             dims.sort_by(|&a, &b| norm(b).total_cmp(&norm(a)));
             for j in dims {
-                let mut coords: Vec<f64> = entries.iter().map(|(p, _)| p.get(j)).collect();
+                let mut coords: Vec<f64> = entries.col(j).to_vec();
                 coords.sort_by(f64::total_cmp);
                 let mut m = coords[coords.len() / 2];
                 if m == coords[0] {
@@ -745,16 +741,16 @@ fn split_record_at<V: AggValue>(
     let is_leaf = matches!(node, Node::Leaf(_));
     let (nb, nt) = match node {
         Node::Leaf(entries) => {
-            let mut lo = Vec::new();
-            let mut hi = Vec::new();
-            for (p, v) in entries {
+            let mut lo = EntrySlab::with_capacity(dim, entries.len());
+            let mut hi = EntrySlab::with_capacity(dim, entries.len());
+            for (p, v) in entries.iter() {
                 if p.get(j) < m {
-                    lo.push((p, v));
+                    lo.push(&p, v.clone());
                 } else {
-                    hi.push((p, v));
+                    hi.push(&p, v.clone());
                 }
             }
-            low_leaf_points = lo.clone();
+            low_leaf_points = lo.to_entries();
             (Node::Leaf(lo), Node::Leaf(hi))
         }
         Node::Index(records) => {
@@ -772,22 +768,22 @@ fn split_record_at<V: AggValue>(
                     let (rb2, nb2, rt2, nt2) = split_record_at(ctx, dim, space, r, child, j, m)?;
                     // Forced halves never grow past their source node's
                     // record count, so they fit.
-                    ctx.write(rb2.child, dim, &normalize_empty(nb2))?;
-                    ctx.write(rt2.child, dim, &normalize_empty(nt2))?;
+                    ctx.write(rb2.child, dim, &normalize_empty(dim, nb2))?;
+                    ctx.write(rt2.child, dim, &normalize_empty(dim, nt2))?;
                     lo.push(rb2);
                     hi.push(rt2);
                 }
             }
             (
-                normalize_empty(Node::Index(lo)),
-                normalize_empty(Node::Index(hi)),
+                normalize_empty(dim, Node::Index(lo)),
+                normalize_empty(dim, Node::Index(hi)),
             )
         }
     };
 
     // --- border split ----------------------------------------------------
-    let mut rb_borders: Vec<BorderRef<V>> = vec![BorderRef::empty(); dim];
-    let mut rt_borders: Vec<BorderRef<V>> = vec![BorderRef::empty(); dim];
+    let mut rb_borders: Vec<BorderRef<V>> = vec![BorderRef::empty(dim - 1); dim];
+    let mut rt_borders: Vec<BorderRef<V>> = vec![BorderRef::empty(dim - 1); dim];
     if dim == 1 {
         // No borders in 1-d: "below in the split dimension" is "below in
         // every dimension", so the low page's points fold straight into
@@ -881,9 +877,9 @@ fn split_record_at<V: AggValue>(
 
 /// An index node emptied by a forced split degenerates to an empty leaf
 /// so that queries and inserts into its region still terminate.
-fn normalize_empty<V: AggValue>(node: Node<V>) -> Node<V> {
+fn normalize_empty<V: AggValue>(dim: usize, node: Node<V>) -> Node<V> {
     match node {
-        Node::Index(rs) if rs.is_empty() => Node::empty_leaf(),
+        Node::Index(rs) if rs.is_empty() => Node::empty_leaf(dim),
         other => other,
     }
 }
@@ -922,8 +918,8 @@ pub(crate) fn check_consistency(
         let node = ctx.read_shared::<f64>(node_id, dim)?;
         let records = match &*node {
             Node::Leaf(entries) => {
-                for (p, _) in entries {
-                    if !rect.contains_point(p) {
+                for (p, _) in entries.iter() {
+                    if !rect.contains_point(&p) {
                         return Err(invalid_arg(format!(
                             "leaf point {p:?} escapes its region {rect:?}"
                         )));

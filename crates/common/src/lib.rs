@@ -16,6 +16,9 @@
 //!   box-sum reduction (§3),
 //! * [`bytes`] — a small little-endian codec used by every on-page record
 //!   layout,
+//! * [`slab`] — struct-of-arrays entry storage for decoded index nodes
+//!   (the hot-path layout; the on-disk codec is byte-identical to the
+//!   tuple layout it replaced),
 //! * [`traits`] — the [`traits::DominanceSumIndex`]
 //!   interface implemented by the ECDF-B-trees and the BA-tree,
 //! * [`error`] — the common error type,
@@ -28,6 +31,7 @@ pub mod error;
 pub mod geom;
 pub mod poly;
 pub mod rng;
+pub mod slab;
 pub mod tempdir;
 pub mod traits;
 pub mod value;
@@ -36,5 +40,6 @@ pub use bytes::{ByteReader, ByteWriter};
 pub use error::{Error, Result};
 pub use geom::{Coord, Point, Rect, MAX_DIM};
 pub use poly::Poly;
+pub use slab::EntrySlab;
 pub use traits::DominanceSumIndex;
 pub use value::AggValue;

@@ -349,6 +349,85 @@ impl AggValue for Poly {
     }
 }
 
+/// Reusable Horner-scheme evaluator over a dense coefficient grid.
+///
+/// [`Poly::eval`] walks the sparse term list and calls `powi` per term and
+/// dimension. For the functional box-sum query path — which evaluates one
+/// aggregated corner tuple per query corner — it is faster to scatter the
+/// terms into a dense per-dimension coefficient grid once and then collapse
+/// the grid with nested Horner steps (one fused multiply-add chain per
+/// dimension, no `powi`). The grid buffer is owned by the evaluator and
+/// reused across calls, so the hot path performs no allocation after
+/// warm-up.
+///
+/// Horner association differs from the sparse sum, so results are *not*
+/// bit-identical to [`Poly::eval`] on arbitrary floats; on dyadic-rational
+/// inputs (integer coordinates, small dyadic coefficients) both are exact
+/// and therefore equal. The microbench and the layout-equivalence suite
+/// pin that equality.
+#[derive(Debug, Default)]
+pub struct HornerEval {
+    grid: Vec<f64>,
+}
+
+impl HornerEval {
+    /// A fresh evaluator with an empty scratch grid.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluates `p` at `at` by Horner's rule over the dense grid.
+    ///
+    /// Equivalent to [`Poly::eval`] up to floating-point association.
+    // lint: hot-path
+    pub fn eval(&mut self, p: &Poly, at: &Point) -> f64 {
+        if p.terms.is_empty() {
+            return 0.0;
+        }
+        let dim = at.dim();
+        // Per-dimension grid extents: max exponent + 1.
+        let mut sizes = [1usize; MAX_DIM];
+        for t in &p.terms {
+            for (i, size) in sizes[..dim].iter_mut().enumerate() {
+                *size = (*size).max(t.exps[i] as usize + 1);
+            }
+            for &e in &t.exps[dim..] {
+                debug_assert_eq!(e, 0, "term references dimension beyond the point");
+            }
+        }
+        let total: usize = sizes[..dim].iter().product();
+        self.grid.clear();
+        self.grid.resize(total, 0.0);
+        // Scatter: dimension 0 is the fastest-varying axis.
+        for t in &p.terms {
+            let mut idx = 0;
+            let mut stride = 1;
+            for (i, &size) in sizes[..dim].iter().enumerate() {
+                idx += t.exps[i] as usize * stride;
+                stride *= size;
+            }
+            self.grid[idx] += t.coeff;
+        }
+        // Collapse one dimension at a time: each block of `sizes[i]`
+        // consecutive cells is a univariate polynomial in x_i.
+        let mut cells = total;
+        for (i, &size) in sizes[..dim].iter().enumerate() {
+            let x = at.get(i);
+            let blocks = cells / size;
+            for b in 0..blocks {
+                let base = b * size;
+                let mut acc = self.grid[base + size - 1];
+                for k in (0..size - 1).rev() {
+                    acc = acc * x + self.grid[base + k];
+                }
+                self.grid[b] = acc;
+            }
+            cells = blocks;
+        }
+        self.grid[0]
+    }
+}
+
 /// Upper bound on the encoded size of any polynomial over `dim` dimensions
 /// with per-dimension exponent at most `max_exp`.
 ///
@@ -509,6 +588,45 @@ mod tests {
         }
         let p = Poly::from_terms(dense);
         assert!(p.encoded_size() <= bound);
+    }
+
+    #[test]
+    fn horner_matches_sparse_eval_exactly_on_dyadic_inputs() {
+        // Integer coordinates and dyadic coefficients keep every
+        // intermediate exact, so Horner and the sparse sum agree bitwise.
+        let p = Poly::from_terms(vec![
+            Term::new(4.0, &[1, 1]),
+            Term::new(-40.0, &[1, 0]),
+            Term::new(-8.0, &[0, 1]),
+            Term::new(80.0, &[]),
+            Term::new(0.25, &[3, 2]),
+        ]);
+        let mut h = HornerEval::new();
+        for q in [
+            pt(&[5.0, 15.0]),
+            pt(&[2.0, 10.0]),
+            pt(&[0.0, 0.0]),
+            pt(&[-4.0, 8.0]),
+        ] {
+            let a = p.eval(&q);
+            let b = h.eval(&p, &q);
+            assert_eq!(a.to_bits(), b.to_bits(), "at {q:?}: {a} vs {b}");
+        }
+        assert_eq!(h.eval(&Poly::new(), &pt(&[1.0])), 0.0);
+    }
+
+    #[test]
+    fn horner_approximates_sparse_eval_on_general_floats() {
+        let p = Poly::from_terms(vec![
+            Term::new(1.37, &[2, 1]),
+            Term::new(-0.61, &[0, 3]),
+            Term::new(2.09, &[1, 0]),
+        ]);
+        let mut h = HornerEval::new();
+        let q = pt(&[1.7, -2.3]);
+        let a = p.eval(&q);
+        let b = h.eval(&p, &q);
+        assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0));
     }
 
     #[test]

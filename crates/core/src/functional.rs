@@ -32,7 +32,8 @@
 
 use boxagg_common::error::{invalid_arg, Result};
 use boxagg_common::geom::{Point, Rect, MAX_DIM};
-use boxagg_common::poly::{max_poly_encoded_size, Poly};
+use boxagg_common::poly::{max_poly_encoded_size, HornerEval, Poly};
+use boxagg_common::slab;
 use boxagg_common::traits::DominanceSumIndex;
 use boxagg_common::value::AggValue;
 
@@ -134,6 +135,10 @@ pub struct FunctionalBoxSum<I> {
     index: I,
     len: usize,
     queries_issued: u64,
+    /// Reusable Horner evaluation scratch: corner-tuple evaluation runs
+    /// over a dense coefficient grid with no per-query allocation after
+    /// warmup.
+    horner: HornerEval,
 }
 
 impl<I: DominanceSumIndex<Poly>> FunctionalBoxSum<I> {
@@ -148,6 +153,7 @@ impl<I: DominanceSumIndex<Poly>> FunctionalBoxSum<I> {
             index,
             len: 0,
             queries_issued: 0,
+            horner: HornerEval::new(),
         })
     }
 
@@ -214,7 +220,11 @@ impl<I: DominanceSumIndex<Poly>> FunctionalBoxSum<I> {
     pub fn oifbs(&mut self, p: &Point) -> Result<f64> {
         let tuple = self.index.dominance_sum(p)?;
         self.queries_issued += 1;
-        Ok(tuple.eval(p))
+        if slab::reference_mode() {
+            // Retained reference path: the sparse per-term powi sum.
+            return Ok(tuple.eval(p));
+        }
+        Ok(self.horner.eval(&tuple, p))
     }
 
     /// Functional box-sum over `q`: the alternating OIFBS sum over `q`'s
@@ -224,8 +234,17 @@ impl<I: DominanceSumIndex<Poly>> FunctionalBoxSum<I> {
             return Err(invalid_arg("query dimensionality mismatch"));
         }
         let mut acc = 0.0;
+        let mut corner = Point::zeros(self.dim);
         for mask in 0..(1usize << self.dim) {
-            let corner = q.corner(mask);
+            // Scratch reuse: overwrite one corner point per mask instead
+            // of constructing 2^d fresh points.
+            corner.from_fn_into(self.dim, |i| {
+                if mask & (1 << i) != 0 {
+                    q.high().get(i)
+                } else {
+                    q.low().get(i)
+                }
+            });
             let term = self.oifbs(&corner)?;
             // Sign: + for the all-high corner, alternating per low pick.
             let lows = self.dim as u32 - mask.count_ones();

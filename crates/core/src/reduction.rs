@@ -382,12 +382,22 @@ impl<I: DominanceSumIndex<f64>> EoBoxSum<I> {
         if rect.dim() != self.dim {
             return Err(invalid_arg("object dimensionality mismatch"));
         }
+        // The negations are computed once and the per-mask point is
+        // rebuilt into a scratch buffer — coordinates bit-identical to
+        // the per-mask `Point::from_fn` this replaces.
+        let mut neglo = [0.0f64; MAX_DIM];
+        let mut hi = [0.0f64; MAX_DIM];
+        for i in 0..self.dim {
+            neglo[i] = -rect.low().get(i);
+            hi[i] = rect.high().get(i);
+        }
+        let mut p = Point::zeros(self.dim);
         for mask in 0..(1usize << self.dim) {
-            let p = Point::from_fn(self.dim, |i| {
+            p.from_fn_into(self.dim, |i| {
                 if mask & (1 << i) != 0 {
-                    -rect.low().get(i)
+                    neglo[i]
                 } else {
-                    rect.high().get(i)
+                    hi[i]
                 }
             });
             self.indexes[mask].insert(p, value)?;
@@ -405,12 +415,19 @@ impl<I: DominanceSumIndex<f64>> EoBoxSum<I> {
         if rect.dim() != self.dim {
             return Err(invalid_arg("object dimensionality mismatch"));
         }
+        let mut neglo = [0.0f64; MAX_DIM];
+        let mut hi = [0.0f64; MAX_DIM];
+        for i in 0..self.dim {
+            neglo[i] = -rect.low().get(i);
+            hi[i] = rect.high().get(i);
+        }
+        let mut p = Point::zeros(self.dim);
         for mask in 0..(1usize << self.dim) {
-            let p = Point::from_fn(self.dim, |i| {
+            p.from_fn_into(self.dim, |i| {
                 if mask & (1 << i) != 0 {
-                    -rect.low().get(i)
+                    neglo[i]
                 } else {
-                    rect.high().get(i)
+                    hi[i]
                 }
             });
             self.indexes[mask].insert(p, -value)?;
@@ -428,8 +445,19 @@ impl<I: DominanceSumIndex<f64>> EoBoxSum<I> {
             return Err(invalid_arg("query dimensionality mismatch"));
         }
         let mut missed = 0.0;
+        // The `next_down` nudges are computed once per query; each
+        // assignment's dominance point is rebuilt into a scratch buffer
+        // with coordinates bit-identical to the old per-assignment
+        // `Point::from_fn`.
+        let mut below = [0.0f64; MAX_DIM];
+        let mut above = [0.0f64; MAX_DIM];
+        for i in 0..self.dim {
+            below[i] = q.low().get(i).next_down();
+            above[i] = (-q.high().get(i)).next_down();
+        }
+        let mut y = Point::zeros(self.dim);
         // Enumerate assignments t ∈ {none, below, above}^d, t ≠ none^d.
-        let mut assignment = vec![0u8; self.dim];
+        let mut assignment = [0u8; MAX_DIM];
         loop {
             // Advance to the next assignment (ternary counter).
             let mut i = 0;
@@ -450,7 +478,7 @@ impl<I: DominanceSumIndex<f64>> EoBoxSum<I> {
             // Build the dominance query for this assignment.
             let mut mask = 0usize;
             let mut involved = 0u32;
-            for (i, &a) in assignment.iter().enumerate() {
+            for (i, &a) in assignment[..self.dim].iter().enumerate() {
                 if a == 2 {
                     mask |= 1 << i;
                 }
@@ -458,10 +486,10 @@ impl<I: DominanceSumIndex<f64>> EoBoxSum<I> {
                     involved += 1;
                 }
             }
-            let y = Point::from_fn(self.dim, |i| match assignment[i] {
-                0 => f64::INFINITY,                  // unconstrained
-                1 => q.low().get(i).next_down(),     // below: o.h_i < q.l_i
-                _ => (-q.high().get(i)).next_down(), // above: −o.l_i < −q.h_i
+            y.from_fn_into(self.dim, |i| match assignment[i] {
+                0 => f64::INFINITY, // unconstrained
+                1 => below[i],      // below: o.h_i < q.l_i
+                _ => above[i],      // above: −o.l_i < −q.h_i
             });
             let term = self.indexes[mask].dominance_sum(&y)?;
             self.queries_issued += 1;

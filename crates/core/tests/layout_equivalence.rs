@@ -1,0 +1,218 @@
+//! Layout-equivalence model test: every engine answers identically —
+//! bit for bit — through the struct-of-arrays slab/Horner hot paths and
+//! the retained scalar reference paths, over identical seeded workloads,
+//! with identical byte-level I/O traces.
+//!
+//! The slab scans preserve the per-entry `add_assign` order of the tuple
+//! loops they replaced, so bit-identity holds on arbitrary float
+//! workloads. Horner corner-tuple evaluation associates differently from
+//! the sparse per-term sum, so the functional engine's slice of the test
+//! uses a dyadic-rational workload (integer boxes, exponents `{0, 1, 3}`,
+//! half-integer coefficients, integer query corners) where both orders
+//! are exact — and therefore equal.
+//!
+//! The reference-mode switch is a process-wide flag, so all engine
+//! comparisons run inside this single `#[test]`.
+
+use boxagg_common::geom::{Point, Rect};
+use boxagg_common::poly::Poly;
+use boxagg_common::rng::StdRng;
+use boxagg_common::slab;
+use boxagg_common::value::AggValue;
+use boxagg_core::engine::SimpleBoxSum;
+use boxagg_core::functional::{FunctionalBoxSum, FunctionalObject};
+use boxagg_core::reduction::EoBoxSum;
+use boxagg_ecdf::BorderPolicy;
+use boxagg_pagestore::{IoStats, StoreConfig};
+
+fn config() -> StoreConfig {
+    StoreConfig::small(512, 64)
+}
+
+fn rand_rect(rng: &mut StdRng, dim: usize, side: f64) -> Rect {
+    let low = Point::from_fn(dim, |_| rng.gen::<f64>() * (1.0 - side));
+    let high = Point::from_fn(dim, |i| low.get(i) + rng.gen::<f64>() * side + 1e-3);
+    Rect::new(low, high)
+}
+
+fn simple_workload(seed: u64, n: usize, queries: usize) -> (Vec<(Rect, f64)>, Vec<Rect>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let objects = (0..n)
+        .map(|i| (rand_rect(&mut rng, 2, 0.3), (i % 9) as f64 - 3.5))
+        .collect();
+    let qs = (0..queries).map(|_| rand_rect(&mut rng, 2, 0.5)).collect();
+    (objects, qs)
+}
+
+/// Integer boxes in `[0, 4]²`, value functions with exponents `{0, 1, 3}`
+/// and half-integer coefficients: every quantity both evaluation orders
+/// produce is an exact dyadic rational far inside 2⁵³.
+fn dyadic_workload(seed: u64, n: usize, queries: usize) -> (Vec<FunctionalObject>, Vec<Rect>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut objects = Vec::with_capacity(n);
+    for _ in 0..n {
+        let lx = rng.gen_range(0..4) as f64;
+        let ly = rng.gen_range(0..4) as f64;
+        let hx = (lx + 1.0 + rng.gen_range(0..2) as f64).min(4.0);
+        let hy = (ly + 1.0 + rng.gen_range(0..2) as f64).min(4.0);
+        let half = |r: &mut StdRng| (r.gen_range(0..9) as f64 - 4.0) / 2.0;
+        let mut f = Poly::constant(half(&mut rng));
+        f.add_assign(&Poly::monomial(half(&mut rng), &[1, 0]));
+        f.add_assign(&Poly::monomial(half(&mut rng), &[0, 1]));
+        f.add_assign(&Poly::monomial(half(&mut rng), &[3, 3]));
+        objects.push(FunctionalObject::new(Rect::from_bounds(&[(lx, hx), (ly, hy)]), f).unwrap());
+    }
+    let qs = (0..queries)
+        .map(|_| {
+            let lx = rng.gen_range(0..4) as f64;
+            let ly = rng.gen_range(0..4) as f64;
+            Rect::from_bounds(&[(lx, lx + 1.0), (ly, ly + 1.0)])
+        })
+        .collect();
+    (objects, qs)
+}
+
+/// One engine run: build, insert the workload, answer every query.
+/// Returns the per-query answer bits and the store's complete I/O trace.
+struct Trace {
+    answers: Vec<u64>,
+    io: IoStats,
+}
+
+fn assert_equivalent(name: &str, slab: &Trace, reference: &Trace) {
+    assert_eq!(
+        slab.answers, reference.answers,
+        "{name}: answers must be bit-identical between slab and reference paths"
+    );
+    assert_eq!(
+        slab.io, reference.io,
+        "{name}: byte-level I/O traces must be identical"
+    );
+}
+
+fn run_bat_corner(objects: &[(Rect, f64)], queries: &[Rect]) -> Trace {
+    let space = Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]);
+    let mut e = SimpleBoxSum::batree(space, config()).unwrap();
+    let store = e.indexes()[0].store().clone();
+    for (r, v) in objects {
+        e.insert(r, *v).unwrap();
+    }
+    let answers = queries
+        .iter()
+        .map(|q| e.query(q).unwrap().to_bits())
+        .collect();
+    Trace {
+        answers,
+        io: store.stats(),
+    }
+}
+
+fn run_eo(objects: &[(Rect, f64)], queries: &[Rect]) -> Trace {
+    let space = Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]);
+    let mut e = EoBoxSum::batree(space, config()).unwrap();
+    let store = e.indexes()[0].store().clone();
+    for (r, v) in objects {
+        e.insert(r, *v).unwrap();
+    }
+    let answers = queries
+        .iter()
+        .map(|q| e.query(q).unwrap().to_bits())
+        .collect();
+    Trace {
+        answers,
+        io: store.stats(),
+    }
+}
+
+fn run_ecdf(policy: BorderPolicy, objects: &[(Rect, f64)], queries: &[Rect]) -> Trace {
+    let mut e = SimpleBoxSum::ecdf(2, policy, config()).unwrap();
+    let store = e.indexes()[0].store().clone();
+    for (r, v) in objects {
+        e.insert(r, *v).unwrap();
+    }
+    let answers = queries
+        .iter()
+        .map(|q| e.query(q).unwrap().to_bits())
+        .collect();
+    Trace {
+        answers,
+        io: store.stats(),
+    }
+}
+
+fn run_functional(objects: &[FunctionalObject], queries: &[Rect]) -> Trace {
+    let space = Rect::from_bounds(&[(0.0, 4.0), (0.0, 4.0)]);
+    // Degree-3 corner tuples need ~420 B each: use a page large enough
+    // to hold a couple per node.
+    let mut e = FunctionalBoxSum::batree(space, StoreConfig::small(4096, 64), 3).unwrap();
+    let store = e.index().store().clone();
+    for o in objects {
+        e.insert(o).unwrap();
+    }
+    let answers = queries
+        .iter()
+        .map(|q| e.query(q).unwrap().to_bits())
+        .collect();
+    Trace {
+        answers,
+        io: store.stats(),
+    }
+}
+
+/// Restores the process-wide reference flag even if an assertion fails
+/// mid-test, so a failure here can't poison unrelated runs.
+struct FlagGuard;
+
+impl Drop for FlagGuard {
+    fn drop(&mut self) {
+        slab::set_reference_mode(false);
+    }
+}
+
+#[test]
+fn every_engine_is_bit_identical_across_layouts() {
+    let _guard = FlagGuard;
+    let (objects, queries) = simple_workload(20020601, 400, 60);
+    let (fobjects, fqueries) = dyadic_workload(20020602, 48, 40);
+
+    let with_mode = |on: bool| {
+        slab::set_reference_mode(on);
+        let traces = (
+            run_bat_corner(&objects, &queries),
+            run_eo(&objects, &queries),
+            run_ecdf(BorderPolicy::UpdateOptimized, &objects, &queries),
+            run_ecdf(BorderPolicy::QueryOptimized, &objects, &queries),
+            run_functional(&fobjects, &fqueries),
+        );
+        slab::set_reference_mode(false);
+        traces
+    };
+
+    let slab_traces = with_mode(false);
+    let ref_traces = with_mode(true);
+
+    assert_equivalent("BAT corner", &slab_traces.0, &ref_traces.0);
+    assert_equivalent("EO", &slab_traces.1, &ref_traces.1);
+    assert_equivalent("ECDFu", &slab_traces.2, &ref_traces.2);
+    assert_equivalent("ECDFq", &slab_traces.3, &ref_traces.3);
+    assert_equivalent("functional", &slab_traces.4, &ref_traces.4);
+
+    // The workload is non-trivial: every engine must have answered
+    // something nonzero somewhere.
+    for (name, t) in [
+        ("BAT corner", &slab_traces.0),
+        ("EO", &slab_traces.1),
+        ("ECDFu", &slab_traces.2),
+        ("ECDFq", &slab_traces.3),
+        ("functional", &slab_traces.4),
+    ] {
+        assert!(
+            t.answers.iter().any(|&b| b != 0),
+            "{name}: degenerate workload, every answer was +0.0"
+        );
+        assert!(
+            t.io.total() + t.io.hits > 0,
+            "{name}: no page traffic recorded"
+        );
+    }
+}

@@ -30,6 +30,7 @@ use std::sync::Arc;
 use boxagg_common::bytes::ByteWriter;
 use boxagg_common::error::{corrupt, invalid_arg, Error, Result};
 use boxagg_common::geom::Point;
+use boxagg_common::slab::EntrySlab;
 use boxagg_common::traits::DominanceSumIndex;
 use boxagg_common::value::AggValue;
 use boxagg_pagestore::{PageId, RootEntry, RootKind, SharedStore, StoreSnapshot};
@@ -103,7 +104,11 @@ struct InternalEntry<V> {
 
 #[derive(Debug, Clone)]
 enum Node<V> {
-    Leaf(Vec<(Point, V)>),
+    /// Decoded struct-of-arrays leaf: one coordinate column per
+    /// dimension plus a values column, so the hot dominance scan walks
+    /// contiguous `f64` runs. The on-page bytes are unchanged (the
+    /// interleaved per-entry point/value layout).
+    Leaf(EntrySlab<V>),
     Internal(Vec<InternalEntry<V>>),
 }
 
@@ -118,13 +123,10 @@ impl<V: AggValue> Node<V> {
     fn encode(&self, dim: usize, level: usize, w: &mut ByteWriter) {
         match self {
             Node::Leaf(entries) => {
+                debug_assert_eq!(entries.dim(), dim);
                 w.put_u8(0);
                 w.put_u16(entries.len() as u16);
-                for (p, v) in entries {
-                    debug_assert_eq!(p.dim(), dim);
-                    p.encode(w);
-                    v.encode(w);
-                }
+                entries.encode_entries(w);
             }
             Node::Internal(entries) => {
                 w.put_u8(1);
@@ -147,15 +149,7 @@ impl<V: AggValue> Node<V> {
         let tag = r.get_u8()?;
         let count = r.get_u16()? as usize;
         match tag {
-            0 => {
-                let mut entries = Vec::with_capacity(count);
-                for _ in 0..count {
-                    let p = Point::decode(&mut r, dim)?;
-                    let v = V::decode(&mut r)?;
-                    entries.push((p, v));
-                }
-                Ok(Node::Leaf(entries))
-            }
+            0 => Ok(Node::Leaf(EntrySlab::decode_entries(&mut r, dim, count)?)),
             1 => {
                 let mut entries = Vec::with_capacity(count);
                 for _ in 0..count {
@@ -226,7 +220,7 @@ impl<'a> Ctx<'a> {
 
     fn new_leaf<V: AggValue>(&self, level: usize) -> Result<PageId> {
         let id = self.store.allocate()?;
-        self.write::<V>(id, level, &Node::Leaf(Vec::new()))?;
+        self.write::<V>(id, level, &Node::Leaf(EntrySlab::new(self.dim)))?;
         Ok(id)
     }
 }
@@ -245,7 +239,7 @@ fn enumerate<V: AggValue>(
         return Ok(());
     }
     match &*ctx.read_shared::<V>(root, level)? {
-        Node::Leaf(entries) => out.extend(entries.iter().cloned()),
+        Node::Leaf(entries) => out.extend(entries.iter().map(|(p, v)| (p, v.clone()))),
         Node::Internal(entries) => {
             for e in entries {
                 enumerate::<V>(ctx, level, e.child, out)?;
@@ -312,9 +306,10 @@ fn bulk_build<V: AggValue>(
     let mut start = 0;
     while start < n {
         let end = (start + leaf_cap).min(n);
-        let chunk = points[start..end].to_vec();
-        // lint: allow(unwrap) -- chunk is a non-empty slice: start < end
-        let router = chunk.last().unwrap().0.get(level);
+        // Decode target is a slab; build it straight from the sorted
+        // slice without an intermediate tuple clone.
+        let chunk = EntrySlab::from_slice(ctx.dim, &points[start..end]);
+        let router = points[end - 1].0.get(level);
         let id = ctx.store.allocate()?;
         ctx.write(id, level, &Node::Leaf(chunk))?;
         level_items.push((router, id, start..end));
@@ -368,12 +363,11 @@ fn query_tree<V: AggValue>(ctx: Ctx<'_>, level: usize, root: PageId, q: &Point) 
     }
     match &*ctx.read_shared::<V>(root, level)? {
         Node::Leaf(entries) => {
+            // Dominance on dimensions `level..d` only: the enclosing
+            // levels already resolved the lower coordinates. The slab
+            // scan runs column-wise over contiguous coordinate runs.
             let mut acc = V::zero();
-            for (p, v) in entries {
-                if (level..ctx.dim).all(|i| p.get(i) <= q.get(i)) {
-                    acc.add_assign(v);
-                }
-            }
+            entries.sum_dominated_from_into(level, q, &mut acc);
             Ok(acc)
         }
         Node::Internal(entries) => {
@@ -540,21 +534,20 @@ fn insert_rec<V: AggValue>(
     match &mut node {
         Node::Leaf(entries) => {
             let key = p.get(level);
-            let pos = entries.partition_point(|(q, _)| q.get(level) <= key);
-            entries.insert(pos, (p, v));
+            let pos = entries.partition_point_le(level, key);
+            entries.insert_at(pos, &p, v);
             if entries.len() <= ctx.params.leaf_cap(ctx.dim) {
                 ctx.write(node_id, level, &node)?;
                 return Ok(None);
             }
             // Split, keeping equal keys together when possible.
             let cut = split_position(entries.len(), |i| {
-                entries[i - 1].0.get(level) != entries[i].0.get(level)
+                entries.coord(level, i - 1) != entries.coord(level, i)
             });
-            let right: Vec<(Point, V)> = entries.split_off(cut);
-            // lint: allow(unwrap) -- split_position cuts strictly inside, both halves non-empty
-            let left_router = entries.last().unwrap().0.get(level);
-            // lint: allow(unwrap) -- split_position cuts strictly inside, both halves non-empty
-            let right_router = right.last().unwrap().0.get(level);
+            let right = entries.split_off(cut);
+            // split_position cuts strictly inside: both halves non-empty.
+            let left_router = entries.coord(level, entries.len() - 1);
+            let right_router = right.coord(level, right.len() - 1);
             let right_page = ctx.store.allocate()?;
             ctx.write(right_page, level, &Node::Leaf(right))?;
             ctx.write(node_id, level, &node)?;
@@ -1002,19 +995,30 @@ mod tests {
     #[test]
     fn node_codec_round_trip() {
         // Leaf nodes.
-        let leaf: Node<f64> = Node::Leaf(vec![
+        let pts = [
             (Point::new(&[1.0, 2.0]), 3.5),
             (Point::new(&[-4.0, 0.25]), 1.0),
-        ]);
+        ];
+        let leaf: Node<f64> = Node::Leaf(EntrySlab::from_slice(2, &pts));
         let mut w = ByteWriter::new();
         leaf.encode(2, 0, &mut w);
+        // The slab codec must be byte-identical to the historical
+        // interleaved tuple layout.
+        let mut tuple = ByteWriter::new();
+        tuple.put_u8(0);
+        tuple.put_u16(pts.len() as u16);
+        for (p, v) in &pts {
+            p.encode(&mut tuple);
+            boxagg_common::value::AggValue::encode(v, &mut tuple);
+        }
+        assert_eq!(w.as_slice(), tuple.as_slice());
         let back: Node<f64> = Node::decode(w.as_slice(), 2, 0).unwrap();
         match back {
             Node::Leaf(entries) => {
                 assert_eq!(entries.len(), 2);
-                assert_eq!(entries[0].0, Point::new(&[1.0, 2.0]));
-                assert_eq!(entries[0].1, 3.5);
-                assert_eq!(entries[1].0, Point::new(&[-4.0, 0.25]));
+                assert_eq!(entries.point(0), Point::new(&[1.0, 2.0]));
+                assert_eq!(*entries.value(0), 3.5);
+                assert_eq!(entries.point(1), Point::new(&[-4.0, 0.25]));
             }
             Node::Internal(_) => panic!("leaf decoded as internal"),
         }

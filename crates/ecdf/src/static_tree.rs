@@ -13,6 +13,7 @@
 
 use boxagg_common::error::Result;
 use boxagg_common::geom::Point;
+use boxagg_common::slab::EntrySlab;
 use boxagg_common::traits::DominanceSumIndex;
 use boxagg_common::value::AggValue;
 
@@ -58,32 +59,42 @@ pub struct EcdfTree<V> {
     len: usize,
 }
 
+/// Builds the subtree over the slab range `[start, end)`. The input is
+/// converted to a struct-of-arrays slab once up front; recursion works
+/// over index ranges, sorting columns in place and copying borders
+/// column-wise — no per-entry `(Point, V)` tuple clones anywhere on the
+/// build path. The stable range sort reproduces the permutation of the
+/// old `slice::sort_by` exactly, so tree shape and answers are unchanged.
 fn build_level<V: AggValue>(
     dim: usize,
     level: usize,
-    points: &mut [(Point, V)],
+    points: &mut EntrySlab<V>,
+    start: usize,
+    end: usize,
 ) -> Box<LevelNode<V>> {
-    debug_assert!(!points.is_empty());
-    if points.len() == 1 {
-        let (p, v) = points[0].clone();
-        return Box::new(LevelNode::Leaf(p, v));
+    debug_assert!(start < end);
+    if end - start == 1 {
+        return Box::new(LevelNode::Leaf(
+            points.point(start),
+            points.value(start).clone(),
+        ));
     }
-    points.sort_by(|a, b| a.0.get(level).total_cmp(&b.0.get(level)));
-    let mid = points.len() / 2;
-    let split = points[mid - 1].0.get(level);
+    points.sort_range_by_dim(level, start, end);
+    let mid = start + (end - start) / 2;
+    let split = points.coord(level, mid - 1);
     let border = if level + 1 < dim {
-        let mut left_pts = points[..mid].to_vec();
-        BorderInfo::Tree(build_level(dim, level + 1, &mut left_pts))
+        let mut left_pts = points.sub_slab(start, mid);
+        let left_len = left_pts.len();
+        BorderInfo::Tree(build_level(dim, level + 1, &mut left_pts, 0, left_len))
     } else {
         let mut acc = V::zero();
-        for (_, v) in &points[..mid] {
+        for v in &points.values()[start..mid] {
             acc.add_assign(v);
         }
         BorderInfo::Sum(acc)
     };
-    let (lo, hi) = points.split_at_mut(mid);
-    let left = build_level(dim, level, lo);
-    let right = build_level(dim, level, hi);
+    let left = build_level(dim, level, points, start, mid);
+    let right = build_level(dim, level, points, mid, end);
     Box::new(LevelNode::Internal {
         split,
         left,
@@ -131,12 +142,13 @@ fn query_level<V: AggValue>(dim: usize, level: usize, node: &LevelNode<V>, q: &P
 
 impl<V: AggValue> EcdfTree<V> {
     /// Builds the tree over `points` (consumed). `O(n log^d n)` work.
-    pub fn build(dim: usize, mut points: Vec<(Point, V)>) -> Self {
+    pub fn build(dim: usize, points: Vec<(Point, V)>) -> Self {
         let len = points.len();
         let root = if points.is_empty() {
             None
         } else {
-            Some(build_level(dim, 0, &mut points))
+            let mut slab = EntrySlab::from_entries(dim, points);
+            Some(build_level(dim, 0, &mut slab, 0, len))
         };
         Self { dim, root, len }
     }

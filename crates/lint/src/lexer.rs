@@ -62,6 +62,9 @@ pub struct Scanned {
     /// `// lint: crate(<name>)` override, used by the fixture corpus to
     /// simulate crate-scoped rules outside the crate's real directory.
     pub crate_override: Option<String>,
+    /// Lines of `// lint: hot-path` markers: the next function after each
+    /// is a pinned inner loop, checked by the `hot-loop-alloc` rule.
+    pub hot_paths: Vec<u32>,
 }
 
 /// Scans `src` into tokens and allow directives.
@@ -321,8 +324,8 @@ fn scan_quote(bytes: &[u8], i: &mut usize, line: &mut u32) -> TokenKind {
     }
 }
 
-/// Parses `lint: allow(<rule>) -- <reason>` or `lint: crate(<name>)`
-/// out of comment text.
+/// Parses `lint: allow(<rule>) -- <reason>`, `lint: crate(<name>)`, or
+/// the `lint: hot-path` function marker out of comment text.
 ///
 /// Doc comments are documentation, not directives: a rendered example like
 /// "write `lint: allow(unwrap) -- reason`" must not act on (or be flagged
@@ -354,6 +357,13 @@ fn extract_directive(comment: &str, line: u32, out: &mut Scanned) {
                 malformed: true,
             }),
         }
+        return;
+    }
+    if rest
+        .strip_prefix("hot-path")
+        .is_some_and(|r| r.trim().trim_end_matches("*/").trim().is_empty())
+    {
+        out.hot_paths.push(line);
         return;
     }
     let allows = &mut out.allows;
@@ -520,6 +530,18 @@ mod tests {
         assert!(s.allows.is_empty());
         // Missing name is malformed.
         let s = scan("// lint: crate()\n");
+        assert!(s.allows[0].malformed);
+    }
+
+    #[test]
+    fn hot_path_markers_record_lines() {
+        let src = "fn cold() {}\n// lint: hot-path\nfn hot() {}\n";
+        let s = scan(src);
+        assert_eq!(s.hot_paths, vec![2]);
+        assert!(s.allows.is_empty());
+        // Trailing junk after the marker is malformed, not ignored.
+        let s = scan("// lint: hot-path because fast\nfn f() {}");
+        assert!(s.hot_paths.is_empty());
         assert!(s.allows[0].malformed);
     }
 

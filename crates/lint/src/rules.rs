@@ -14,6 +14,7 @@
 //! | `static-lock-rank`| R7: no path may acquire rank ≤ any rank already held        |
 //! | `hot-lock-io`     | R8: no blocking I/O reachable under a hot lock              |
 //! | `snapshot-purity` | R9: no mutation reachable from snapshot / `*_at` readers    |
+//! | `hot-loop-alloc`  | R11: no per-call allocation in `// lint: hot-path` functions|
 //! | `bad-allow`       | meta: malformed / reason-less / unknown allow directive     |
 //!
 //! R7–R9 (plus `rank-drift`, the rank-table consistency check) are
@@ -43,6 +44,7 @@ pub const RULE_KEYS: &[&str] = &[
     "hot-lock-io",
     "snapshot-purity",
     "rank-drift",
+    "hot-loop-alloc",
 ];
 
 /// One rule violation in one file.
@@ -103,6 +105,7 @@ pub fn check(scanned: &Scanned, ctx: FileContext<'_>) -> Vec<Finding> {
         rule_codec_roundtrip(tokens, &in_test, forced, &mut raw);
     }
     rule_todo_dbg(tokens, &mut raw);
+    rule_hot_loop_alloc(tokens, &scanned.hot_paths, &in_test, &mut raw);
 
     apply_allows(raw, &scanned.allows)
 }
@@ -449,6 +452,91 @@ fn rule_codec_roundtrip(
     }
 }
 
+/// R11: no per-call allocation inside a function marked `// lint:
+/// hot-path` — the pinned inner loops the `innerloop` microbench holds to
+/// a ns/entry budget. `Vec::new`, `Vec::with_capacity`, `.to_vec()`,
+/// `.collect()` and `vec![…]` all allocate on every call; hot loops must
+/// reuse caller-owned scratch (`clear()` + refill) instead. A justified
+/// exception says why with
+/// `// lint: allow(hot-loop-alloc) -- <amortization argument>`.
+fn rule_hot_loop_alloc(
+    tokens: &[Token],
+    hot_paths: &[u32],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for &marker in hot_paths {
+        // The marked function: first `fn` token at or after the marker.
+        let Some(fn_idx) =
+            (0..tokens.len()).find(|&i| tokens[i].line >= marker && tokens[i].is_ident("fn"))
+        else {
+            continue;
+        };
+        // Body span: the matching brace pair after the signature. A `;`
+        // first means a body-less declaration — nothing to check.
+        let mut open = fn_idx;
+        while open < tokens.len() && !tokens[open].is_punct('{') && !tokens[open].is_punct(';') {
+            open += 1;
+        }
+        if open >= tokens.len() || tokens[open].is_punct(';') {
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut close = open;
+        while close < tokens.len() {
+            if tokens[close].is_punct('{') {
+                depth += 1;
+            } else if tokens[close].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            close += 1;
+        }
+        let flag = |out: &mut Vec<Finding>, line: u32, what: &str| {
+            out.push(Finding {
+                line,
+                chain: Vec::new(),
+                rule: "hot-loop-alloc",
+                message: format!(
+                    "{what} allocates on every call of a `// lint: hot-path` \
+                     function; reuse caller-owned scratch, or justify with \
+                     `// lint: allow(hot-loop-alloc) -- <reason>`"
+                ),
+            });
+        };
+        for i in open..close {
+            if in_test(i) {
+                continue;
+            }
+            let t = &tokens[i];
+            if t.is_ident("Vec")
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && tokens
+                    .get(i + 3)
+                    .is_some_and(|t| t.is_ident("new") || t.is_ident("with_capacity"))
+            {
+                let callee = tokens[i + 3].ident().unwrap_or("new");
+                flag(out, tokens[i + 3].line, &format!("`Vec::{callee}`"));
+            }
+            if t.is_punct('.')
+                && tokens
+                    .get(i + 1)
+                    .is_some_and(|t| t.is_ident("to_vec") || t.is_ident("collect"))
+                && tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
+            {
+                let callee = tokens[i + 1].ident().unwrap_or("collect");
+                flag(out, tokens[i + 1].line, &format!("`.{callee}()`"));
+            }
+            if t.is_ident("vec") && tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+                flag(out, t.line, "`vec![…]`");
+            }
+        }
+    }
+}
+
 /// R5: no `todo!` / `unimplemented!` / `dbg!` anywhere, test code
 /// included.
 fn rule_todo_dbg(tokens: &[Token], out: &mut Vec<Finding>) {
@@ -707,6 +795,52 @@ mod tests {
     fn allow_does_not_suppress_other_rules() {
         let src = "fn f() { panic!(\"x\"); } // lint: allow(unwrap) -- wrong rule";
         assert_eq!(rules(src, "core"), vec!["panic"]);
+    }
+
+    #[test]
+    fn hot_loop_alloc_scopes_to_marked_fn() {
+        let src = "
+            fn cold() -> Vec<u32> { (0..4).collect() }
+            // lint: hot-path
+            fn hot(xs: &[f64], q: f64, scratch: &mut Vec<f64>) {
+                scratch.clear();
+                let ys: Vec<f64> = xs.to_vec();
+                let zs: Vec<bool> = xs.iter().map(|&x| x <= q).collect();
+                let mut w = Vec::new();
+                w.extend(vec![0.0]);
+            }
+            fn cold_again() { let v = Vec::new(); }
+        ";
+        assert_eq!(
+            rules(src, "common"),
+            vec![
+                "hot-loop-alloc",
+                "hot-loop-alloc",
+                "hot-loop-alloc",
+                "hot-loop-alloc"
+            ]
+        );
+    }
+
+    #[test]
+    fn hot_loop_alloc_allows_with_reason_and_skips_bodyless_fns() {
+        let src = "
+            // lint: hot-path
+            fn hot(xs: &[f64]) {
+                // lint: allow(hot-loop-alloc) -- rebuilt once per epoch, not per query
+                let ys = xs.to_vec();
+            }
+        ";
+        assert!(lint(src, "common").is_empty(), "{:?}", lint(src, "common"));
+        // A marker before a body-less trait method checks nothing.
+        let src = "
+            trait T {
+                // lint: hot-path
+                fn hot(&self);
+            }
+            fn elsewhere() { let v = Vec::new(); }
+        ";
+        assert!(lint(src, "common").is_empty());
     }
 
     #[test]

@@ -1,0 +1,17 @@
+//! Known-bad fixture: R11 — per-call allocations inside a function
+//! marked `// lint: hot-path`.
+
+// lint: hot-path
+pub fn dominated_sum(xs: &[f64], q: f64) -> f64 {
+    let mask: Vec<bool> = xs.iter().map(|&x| x <= q).collect();
+    let copy = xs.to_vec();
+    let mut staging: Vec<f64> = Vec::new();
+    staging.extend(vec![0.0; xs.len()]);
+    let mut acc = 0.0;
+    for (i, &keep) in mask.iter().enumerate() {
+        if keep {
+            acc += copy[i] + staging[i];
+        }
+    }
+    acc
+}

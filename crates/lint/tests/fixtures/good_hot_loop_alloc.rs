@@ -1,0 +1,35 @@
+//! Known-good fixture: R11 — hot-path functions reuse caller-owned
+//! scratch; allocation happens once at construction or is justified.
+
+/// All allocation lives in the constructor; the marked scan only clears
+/// and refills the scratch buffer.
+pub struct Scanner {
+    mask: Vec<bool>,
+}
+
+impl Scanner {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            mask: Vec::with_capacity(capacity),
+        }
+    }
+
+    // lint: hot-path
+    pub fn dominated_sum(&mut self, xs: &[f64], q: f64) -> f64 {
+        self.mask.clear();
+        self.mask.extend(xs.iter().map(|&x| x <= q));
+        let mut acc = 0.0;
+        for (i, &keep) in self.mask.iter().enumerate() {
+            if keep {
+                acc += xs[i];
+            }
+        }
+        acc
+    }
+
+    // lint: hot-path
+    pub fn rebuild(&mut self, xs: &[f64]) {
+        // lint: allow(hot-loop-alloc) -- rebuilt once per epoch, amortized across queries
+        self.mask = xs.iter().map(|&x| x >= 0.0).collect();
+    }
+}

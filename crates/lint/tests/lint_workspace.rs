@@ -44,6 +44,7 @@ fn good_fixtures_are_clean() {
         "good_lock_rank.rs",
         "good_hot_lock_io.rs",
         "good_snapshot_purity.rs",
+        "good_hot_loop_alloc.rs",
     ] {
         let rules = rules_for(name);
         assert!(rules.is_empty(), "{name}: expected clean, got {rules:?}");
@@ -162,6 +163,17 @@ fn bad_snapshot_purity_fires_r9_with_chain() {
 #[test]
 fn bad_unresolved_rank_fails_closed_as_r7() {
     assert_bad("bad_unresolved_rank.rs", "static-lock-rank");
+}
+
+#[test]
+fn bad_hot_loop_alloc_fires_r11() {
+    assert_bad("bad_hot_loop_alloc.rs", "hot-loop-alloc");
+    let rules = rules_for("bad_hot_loop_alloc.rs");
+    assert_eq!(
+        rules.len(),
+        4,
+        "collect, to_vec, Vec::new and vec! all flagged: {rules:?}"
+    );
 }
 
 /// The tentpole acceptance check: the inter-procedural pass over the real
